@@ -1,0 +1,25 @@
+"""Propeller reproduction: a profile-guided, relinking optimizer.
+
+This package reproduces the system described in "Propeller: A Profile
+Guided, Relinking Optimizer for Warehouse-Scale Applications" (ASPLOS
+2023) as a pure-Python simulation.  It contains a complete synthetic
+toolchain -- ISA, compiler IR, code generator, linker, distributed build
+system, hardware profiler and a micro-architectural frontend model --
+plus the paper's contribution built on top of it: basic block sections,
+the Ext-TSP layout algorithm, whole-program analysis and the four-phase
+relinking pipeline.  A disassembly-driven baseline optimizer modelled on
+BOLT is included for comparison.
+
+Quickstart::
+
+    from repro import synth
+    from repro.core import pipeline
+
+    program = synth.generate_workload(synth.PRESETS["clang"], scale=0.01, seed=1)
+    result = pipeline.optimize(program, seed=1)
+    print(result.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

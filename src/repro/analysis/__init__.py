@@ -1,0 +1,14 @@
+"""Measurement utilities: modelled memory accounting and report tables.
+
+The paper's evaluation reports *peak resident memory* of each tool.
+Measuring the Python interpreter's RSS would tell us about CPython, not
+about the algorithms, so every tool in this reproduction instead
+accounts for the bytes of the data structures it materializes (decoded
+instructions, CFG nodes, profile buffers, linker inputs) through a
+:class:`MemoryMeter`.  The meter tracks live and peak modelled bytes.
+"""
+
+from repro.analysis.memory import MemoryMeter, MemoryScope
+from repro.analysis.tables import Table, format_bytes, format_ratio
+
+__all__ = ["MemoryMeter", "MemoryScope", "Table", "format_bytes", "format_ratio"]

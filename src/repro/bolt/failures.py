@@ -1,0 +1,67 @@
+"""Binary-rewriting failure modes observed at warehouse scale (§5.8).
+
+The paper could not evaluate BOLT on three of four warehouse-scale
+applications.  These models reproduce each reported mechanism:
+
+* **restartable sequences** (``rseq``): the kernel ABI's
+  ``__rseq_cs_ptr_array`` holds absolute pointers into ``.text`` abort
+  handlers; a rewriter that moves code leaves them dangling, and the
+  process dies at startup when the first critical section registers.
+* **FIPS-140-2 integrity checks** (``fips_integrity``): the crypto
+  module hashes its own text segment at startup and aborts on
+  mismatch; any rewrite changes the hash.
+* **huge binaries** (``huge_binary``): registering rewritten
+  ``.eh_frame`` data overflows the rewriter's frame tables on very
+  large binaries (llvm-project issue #56726) -- this one kills the
+  *rewrite*, not the optimized binary.
+"""
+
+from __future__ import annotations
+
+from repro.elf import Executable
+
+#: Feature flag set by the rewriter on binaries whose startup will fail.
+STARTUP_CRASH = "bolt_startup_crash"
+
+
+class BoltError(RuntimeError):
+    """The optimizer itself failed (e.g. eh_frame rewrite overflow)."""
+
+
+class BoltStartupCrash(RuntimeError):
+    """The rewritten binary dies at startup."""
+
+
+def rewrite_precheck(exe: Executable) -> None:
+    """Raise for conditions that kill the rewrite before output."""
+    if "huge_binary" in exe.features:
+        raise BoltError(
+            f"{exe.name}: out-of-bounds access registering .eh_frame for "
+            f"{exe.text_size >> 20} MB of text (cf. llvm-project#56726)"
+        )
+
+
+def startup_features(exe: Executable, code_moved: bool) -> frozenset:
+    """Features of the rewritten binary, marking future startup crashes."""
+    features = set(exe.features)
+    if code_moved and ("rseq" in features or "fips_integrity" in features):
+        features.add(STARTUP_CRASH)
+    return frozenset(features)
+
+
+def check_startup(exe: Executable) -> None:
+    """Simulate process startup; raise if the binary cannot run.
+
+    Call this before tracing any rewritten binary.
+    """
+    if STARTUP_CRASH not in exe.features:
+        return
+    if "rseq" in exe.features:
+        raise BoltStartupCrash(
+            f"{exe.name}: abort in rseq critical-section registration "
+            "(abort handler pointers into the old .text)"
+        )
+    raise BoltStartupCrash(
+        f"{exe.name}: FIPS-140-2 startup integrity check failed "
+        "(text segment digest mismatch)"
+    )

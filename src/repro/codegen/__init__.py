@@ -1,0 +1,27 @@
+"""Compiler backend: lowers IR modules to native object files.
+
+Implements the LLVM-backend features the paper relies on:
+
+* function sections, one per function;
+* **basic block sections** (§4): lowering a function into one section
+  per basic-block *cluster*, with explicit fall-through jumps (§4.2),
+  per-fragment CFI/eh_frame records (§4.4), split exception call-site
+  tables with the landing-pad ``nop`` rule (§4.5);
+* the BB address map metadata section (§3.2);
+* PGO-driven local block layout (the paper's baseline configuration).
+
+All branches are emitted in long form with static relocations; the
+linker's relaxation pass (§4.2) later deletes fall-through jumps and
+shrinks branches whose final displacement fits in one byte.
+"""
+
+from repro.codegen.options import BBSectionsMode, CodeGenOptions
+from repro.codegen.lowering import CompiledObject, compile_module, compile_program
+
+__all__ = [
+    "BBSectionsMode",
+    "CodeGenOptions",
+    "CompiledObject",
+    "compile_module",
+    "compile_program",
+]

@@ -1,0 +1,62 @@
+"""Code generator configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+
+class BBSectionsMode(enum.Enum):
+    """How basic blocks map to sections (``-fbasic-block-sections=``)."""
+
+    #: One section per function; blocks contiguous.
+    NONE = "none"
+    #: Every basic block in its own section (the §4.1 overhead strawman).
+    ALL = "all"
+    #: Sections follow an explicit per-function cluster list, the mode
+    #: Propeller's Phase 4 uses (§3.4).
+    LIST = "list"
+
+
+@dataclass(frozen=True)
+class CodeGenOptions:
+    """Backend options for one compilation.
+
+    ``clusters`` (LIST mode) maps a function name to its basic-block
+    clusters: ``clusters[fn][0]`` is the primary (hot) cluster and must
+    start with the entry block; any block of ``fn`` not named in a
+    cluster is lowered into a trailing ``<fn>.cold`` section.  This is
+    the ``cc_prof`` directive of Figure 1.
+
+    ``ir_profile`` enables the baseline's PGO-guided local layout:
+    within each (single) function section, likely successors are placed
+    as fall-throughs and never-executed blocks sink to the end.
+    """
+
+    bb_sections: BBSectionsMode = BBSectionsMode.NONE
+    clusters: Optional[Mapping[str, Sequence[Sequence[int]]]] = None
+    bb_addr_map: bool = False
+    ir_profile: Optional[object] = None  # repro.profiling.IRProfile (duck-typed)
+    align_function: int = 16
+    #: Callee-saved registers whose CFI must be re-emitted per fragment (§4.4).
+    callee_saved_regs: int = 3
+    #: Software-prefetch directives (§3.5): function -> list of
+    #: (bb_id, target symbol); a PREFETCH of the symbol is emitted at
+    #: the start of the named block.
+    prefetches: Optional[Mapping[str, Sequence[object]]] = None
+    #: Emit DWARF debug information.  Discontiguous functions need one
+    #: DW_AT_ranges descriptor (plus two boundary relocations) per
+    #: basic-block cluster section (§4.3), so debug size grows with the
+    #: fragment count -- another reason clusters beat per-block sections.
+    debug_info: bool = False
+
+    def prefetches_for(self, func_name: str):
+        if self.prefetches is None:
+            return ()
+        return self.prefetches.get(func_name, ())
+
+    def clusters_for(self, func_name: str) -> Optional[Sequence[Sequence[int]]]:
+        if self.bb_sections != BBSectionsMode.LIST or self.clusters is None:
+            return None
+        return self.clusters.get(func_name)

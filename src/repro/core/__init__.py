@@ -1,0 +1,20 @@
+"""Propeller core: the paper's contribution.
+
+* :mod:`repro.core.exttsp` -- the Ext-TSP basic-block ordering
+  algorithm (Newell & Pupyrev), used for intra-function layout and,
+  optionally, whole-program inter-procedural layout (§4.7), with the
+  logarithmic-time most-profitable-merge retrieval the paper added to
+  make it scale.
+* :mod:`repro.core.funcorder` -- call-graph-driven hot function
+  ordering (C3/hfsort style) for the global layout.
+* :mod:`repro.core.wpa` -- Phase 3: mapping LBR samples to machine
+  basic blocks through the BB address map, building the dynamic CFG
+  without disassembly, forming basic-block clusters (function
+  splitting) and emitting the ``cc_prof``/``ld_prof`` directives.
+* :mod:`repro.core.pipeline` -- Phases 1-4 end to end on the
+  distributed build system.
+"""
+
+from repro.core import bbsections, exttsp, funcorder, pipeline, prefetch, wpa
+
+__all__ = ["bbsections", "exttsp", "funcorder", "pipeline", "prefetch", "wpa"]

@@ -1,0 +1,521 @@
+"""Phase 3: profile conversion and Whole Program Analysis (§3.3).
+
+Consumes the metadata binary (built with BB address maps) and the
+sampled LBR profile, and produces the layout directives for Phase 4 --
+**without disassembling anything**:
+
+1. The BB address map joined with the symbol table maps every sampled
+   virtual address to a (function, basic block) pair.
+2. Branch records become dynamic CFG edges; the address gap between one
+   record's destination and the next record's source is walked through
+   the address map to recover fall-through execution counts (the
+   standard LBR inference, as in AutoFDO/BOLT).
+3. Each profiled function's hot blocks are reordered with Ext-TSP and
+   become the primary cluster; unprofiled blocks are left unlisted so
+   the backend splits them into the ``.cold`` section (§4.6).
+4. Hot function sections are globally ordered by call-chain clustering,
+   and cold parts are pushed behind them (``ld_prof``).
+
+Memory accounting mirrors the paper's Fig. 4 discussion: the peak is
+the profile buffer plus the in-memory DCFG, plus a cheap
+(16 bytes/block) address-map index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import MemoryMeter
+from repro.core import bbsections
+from repro.core.exttsp import DEFAULT_PARAMS, LayoutParams, ext_tsp_order
+from repro.core.funcorder import hfsort_order
+from repro.elf import Executable, SectionKind, bbaddrmap
+from repro.profiling import PerfData
+
+#: Modelled bytes per in-memory structure (for peak-memory accounting).
+_BBMAP_INDEX_ENTRY_BYTES = 16
+_DCFG_NODE_BYTES = 56
+_DCFG_EDGE_BYTES = 40
+_LAYOUT_NODE_BYTES = 96
+
+
+@dataclass(frozen=True)
+class WPAOptions:
+    """Whole-program-analysis knobs."""
+
+    #: Inter-procedural whole-program layout (§4.7) instead of
+    #: per-function layout plus function ordering.
+    interproc: bool = False
+    #: Extract unprofiled blocks into a separate .cold section (§4.6).
+    split_cold: bool = True
+    layout_params: LayoutParams = DEFAULT_PARAMS
+    #: Safety valve for the inter-procedural graph size.
+    max_interproc_nodes: int = 200_000
+    #: Functions whose sample mass is below this fraction of the total
+    #: are left alone: one stray sample is not worth re-compiling an
+    #: object for.  (This is what keeps the paper's "~10% of object
+    #: files updated" property.)
+    hot_function_min_fraction: float = 5e-5
+    #: Also plan §3.5 software-prefetch directives for hot call edges.
+    insert_prefetches: bool = False
+
+
+@dataclass
+class FunctionDCFG:
+    """Dynamic control-flow graph of one profiled function."""
+
+    name: str
+    block_counts: Dict[int, float] = field(default_factory=dict)
+    edges: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def total_count(self) -> float:
+        return sum(self.block_counts.values())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+
+@dataclass
+class WPAStats:
+    num_samples: int = 0
+    num_records: int = 0
+    records_dropped: int = 0
+    profile_bytes: int = 0
+    bbmap_entries: int = 0
+    dcfg_nodes: int = 0
+    dcfg_edges: int = 0
+    hot_functions: int = 0
+    peak_memory_bytes: int = 0
+    cost_units: int = 0
+
+
+@dataclass
+class WPAResult:
+    """Layout directives plus the DCFG they were derived from."""
+
+    clusters: Dict[str, List[List[int]]]
+    symbol_order: List[str]
+    hot_functions: List[str]
+    dcfg: Dict[str, FunctionDCFG]
+    call_edges: Dict[Tuple[str, str], float]
+    stats: WPAStats
+    #: §3.5 software-prefetch directives: function -> [(bb_id, symbol)].
+    prefetches: Dict[str, List[Tuple[int, str]]] = field(default_factory=dict)
+
+    @property
+    def cc_prof_text(self) -> str:
+        return bbsections.format_cc_prof(self.clusters)
+
+    @property
+    def ld_prof_text(self) -> str:
+        return bbsections.format_ld_prof(self.symbol_order)
+
+
+class _BlockRef:
+    """A resolved (function, block) sample address."""
+
+    __slots__ = ("func", "pos", "bb_id", "is_entry")
+
+    def __init__(self, func: str, pos: int, bb_id: int, is_entry: bool):
+        self.func = func
+        self.pos = pos  # position within the function's layout
+        self.bb_id = bb_id
+        self.is_entry = is_entry
+
+
+class _AddressMapIndex:
+    """(virtual address -> basic block) index.
+
+    Built from the executable's BB address map sections and symbol
+    table -- the only binary inputs the real tool reads.
+    """
+
+    def __init__(self, exe: Executable):
+        raw = exe.section_bytes(SectionKind.BB_ADDR_MAP)
+        if not raw:
+            raise ValueError(
+                f"{exe.name}: no BB address map; build the metadata binary first (§3.2)"
+            )
+        maps = bbaddrmap.decode_section(raw)
+        indexed: List[Tuple[int, int, bbaddrmap.FunctionMap]] = []
+        self.num_entries = 0
+        for fmap in maps:
+            sym = exe.symbols.get(fmap.func)
+            if sym is None or not fmap.entries:
+                continue
+            last = fmap.entries[-1]
+            indexed.append((sym.addr, sym.addr + last.offset + last.size, fmap))
+            self.num_entries += len(fmap.entries)
+        indexed.sort(key=lambda item: item[0])
+        self.func_starts = [item[0] for item in indexed]
+        self.func_ends = [item[1] for item in indexed]
+        self.func_maps = [item[2] for item in indexed]
+        self.entry_offsets = [[e.offset for e in fmap.entries] for _, _, fmap in indexed]
+        self._name_index = {fmap.func: i for i, fmap in enumerate(self.func_maps)}
+
+    def lookup(self, addr: int) -> Optional[_BlockRef]:
+        i = bisect.bisect_right(self.func_starts, addr) - 1
+        if i < 0 or addr >= self.func_ends[i]:
+            return None
+        offset = addr - self.func_starts[i]
+        j = bisect.bisect_right(self.entry_offsets[i], offset) - 1
+        if j < 0:
+            return None
+        fmap = self.func_maps[i]
+        return _BlockRef(fmap.func, j, fmap.entries[j].bb_id, j == 0 and offset == 0)
+
+    def blocks_between(self, func: str, lo_pos: int, hi_pos: int) -> List[int]:
+        """bb ids of layout positions [lo_pos, hi_pos] of ``func``."""
+        i = self._func_index(func)
+        return [e.bb_id for e in self.func_maps[i].entries[lo_pos : hi_pos + 1]]
+
+    def block_size(self, func: str, bb_id: int) -> int:
+        i = self._func_index(func)
+        for entry in self.func_maps[i].entries:
+            if entry.bb_id == bb_id:
+                return entry.size
+        raise KeyError(f"{func}: no block {bb_id}")
+
+    def function_map(self, func: str) -> bbaddrmap.FunctionMap:
+        return self.func_maps[self._func_index(func)]
+
+    def _func_index(self, func: str) -> int:
+        try:
+            return self._name_index[func]
+        except KeyError:
+            raise KeyError(func) from None
+
+
+def _build_dcfg(
+    index: _AddressMapIndex, perf: PerfData, stats: WPAStats
+) -> Tuple[Dict[str, FunctionDCFG], Dict[Tuple[str, str], float], Dict[Tuple[str, int, str, int], float]]:
+    """Process every LBR record into block counts, CFG edges and call edges."""
+    dcfg: Dict[str, FunctionDCFG] = {}
+    call_edges: Dict[Tuple[str, str], float] = {}
+    block_call_edges: Dict[Tuple[str, int, str, int], float] = {}
+
+    def fd(name: str) -> FunctionDCFG:
+        out = dcfg.get(name)
+        if out is None:
+            out = FunctionDCFG(name=name)
+            dcfg[name] = out
+        return out
+
+    for sample in perf.samples:
+        prev_dst_ref: Optional[_BlockRef] = None
+        for src, dst in sample.records:
+            stats.num_records += 1
+            sref = index.lookup(src)
+            dref = index.lookup(dst)
+            if sref is None or dref is None:
+                stats.records_dropped += 1
+                prev_dst_ref = None
+                continue
+            # Fall-through inference: control ran sequentially from the
+            # previous record's destination to this record's source.
+            if (
+                prev_dst_ref is not None
+                and prev_dst_ref.func == sref.func
+                and prev_dst_ref.pos <= sref.pos
+            ):
+                func_d = fd(sref.func)
+                ids = index.blocks_between(sref.func, prev_dst_ref.pos, sref.pos)
+                counts = func_d.block_counts
+                for bb_id in ids:
+                    counts[bb_id] = counts.get(bb_id, 0.0) + 1.0
+                edges = func_d.edges
+                for a, b in zip(ids, ids[1:]):
+                    edges[(a, b)] = edges.get((a, b), 0.0) + 1.0
+            # The taken branch itself.
+            if sref.func == dref.func:
+                func_d = fd(sref.func)
+                key = (sref.bb_id, dref.bb_id)
+                func_d.edges[key] = func_d.edges.get(key, 0.0) + 1.0
+            elif dref.is_entry:
+                call_key = (sref.func, dref.func)
+                call_edges[call_key] = call_edges.get(call_key, 0.0) + 1.0
+                bkey = (sref.func, sref.bb_id, dref.func, dref.bb_id)
+                block_call_edges[bkey] = block_call_edges.get(bkey, 0.0) + 1.0
+            # Returns / other cross-function transfers: no layout edge.
+            prev_dst_ref = dref
+    return dcfg, call_edges, block_call_edges
+
+
+def _merge_superblocks(
+    hot_ids: List[int],
+    counts: Dict[int, float],
+    edges: Dict[Tuple[int, int], float],
+) -> List[List[int]]:
+    """Group layout-consecutive blocks whose fall-through edge carries
+    essentially all of both blocks' flow.
+
+    Such runs behave as one straight-line unit; reordering inside them
+    can only break fall-throughs.  Treating each run as a single
+    Ext-TSP node keeps the solver's greedy merging from scattering
+    straight-line code (the same stabilization BOLT gets for free from
+    reconstructing superblocks out of disassembly).
+    """
+    groups: List[List[int]] = []
+    for bb in hot_ids:
+        if groups:
+            prev = groups[-1][-1]
+            flow = edges.get((prev, bb), 0.0)
+            if (
+                flow > 0
+                and flow >= 0.95 * counts.get(prev, 0.0)
+                and flow >= 0.95 * counts.get(bb, 0.0)
+            ):
+                groups[-1].append(bb)
+                continue
+        groups.append([bb])
+    return groups
+
+
+def _superblock_layout(
+    hot_ids: List[int],
+    sizes: Dict[int, int],
+    counts: Dict[int, float],
+    edges: Dict[Tuple[int, int], float],
+    entry_id: int,
+    params: LayoutParams,
+) -> List[int]:
+    """Ext-TSP over superblocks; returns the flattened block order."""
+    groups = _merge_superblocks(hot_ids, counts, edges)
+    leader_of: Dict[int, int] = {}
+    for group in groups:
+        for bb in group:
+            leader_of[bb] = group[0]
+    nodes = {
+        group[0]: (sum(sizes[bb] for bb in group), max(counts.get(bb, 0.0) for bb in group))
+        for group in groups
+    }
+    projected: List[Tuple[int, int, float]] = []
+    for (s, d), w in edges.items():
+        ls, ld = leader_of.get(s), leader_of.get(d)
+        if ls is None or ld is None or ls == ld:
+            continue
+        projected.append((ls, ld, w))
+    total = sum(edges.values()) if edges else 1.0
+    eps = max(total, 1.0) * 1e-9
+    leaders = [g[0] for g in groups]
+    projected.extend((a, b, eps) for a, b in zip(leaders, leaders[1:]))
+    order = ext_tsp_order(nodes, projected, entry=leader_of[entry_id], params=params)
+    by_leader = {g[0]: g for g in groups}
+    return [bb for leader in order for bb in by_leader[leader]]
+
+
+def _layout_prior_edges(hot_ids, sampled_edges):
+    """Epsilon-weight edges along the *existing* layout order.
+
+    Sampled edge counts are sparse for lukewarm code; with no signal,
+    Ext-TSP would scatter weakly-profiled blocks by chain density and
+    destroy fall-throughs the current layout already has.  The original
+    order is known from the BB address map, so it enters the graph as a
+    negligible-weight prior: it breaks ties toward the status quo and
+    is overruled by any real sample.
+    """
+    total = sum(sampled_edges.values()) if sampled_edges else 1.0
+    eps = max(total, 1.0) * 1e-9
+    return [(a, b, eps) for a, b in zip(hot_ids, hot_ids[1:])]
+
+
+def _intra_layout(
+    index: _AddressMapIndex,
+    dcfg: Dict[str, FunctionDCFG],
+    call_edges: Dict[Tuple[str, str], float],
+    options: WPAOptions,
+    meter: MemoryMeter,
+    min_count: float = 0.0,
+) -> Tuple[Dict[str, List[List[int]]], List[str], List[str]]:
+    clusters: Dict[str, List[List[int]]] = {}
+    hot_funcs: List[str] = []
+    func_heat: Dict[str, Tuple[int, float]] = {}
+    has_cold: Dict[str, bool] = {}
+    for name, fd in dcfg.items():
+        if fd.total_count <= min_count:
+            continue
+        fmap = index.function_map(name)
+        entry_id = fmap.entries[0].bb_id
+        sizes = {e.bb_id: e.size for e in fmap.entries}
+        counts = fd.block_counts
+        hot_ids = [e.bb_id for e in fmap.entries if counts.get(e.bb_id, 0.0) > 0]
+        if entry_id not in hot_ids:
+            hot_ids.insert(0, entry_id)
+        meter.allocate(len(hot_ids) * _LAYOUT_NODE_BYTES, "wpa-layout")
+        hot_set = set(hot_ids)
+        edges = {
+            (s, d): w for (s, d), w in fd.edges.items() if s in hot_set and d in hot_set
+        }
+        order = _superblock_layout(
+            hot_ids, sizes, counts, edges, entry_id, options.layout_params
+        )
+        meter.free_category("wpa-layout")
+        if not options.split_cold:
+            # Keep the whole function in one section: append cold blocks.
+            order = order + [e.bb_id for e in fmap.entries if e.bb_id not in set(order)]
+        clusters[name] = [order]
+        hot_funcs.append(name)
+        hot_size = sum(sizes[bb] for bb in order)
+        func_heat[name] = (hot_size, fd.total_count)
+        has_cold[name] = options.split_cold and len(order) < len(fmap.entries)
+
+    flat_calls = [(a, b, w) for (a, b), w in call_edges.items()]
+    global_order = hfsort_order(func_heat, flat_calls)
+    symbol_order = list(global_order)
+    symbol_order.extend(f"{fn}.cold" for fn in global_order if has_cold.get(fn))
+    return clusters, symbol_order, hot_funcs
+
+
+def _interproc_layout(
+    index: _AddressMapIndex,
+    dcfg: Dict[str, FunctionDCFG],
+    block_call_edges: Dict[Tuple[str, int, str, int], float],
+    options: WPAOptions,
+    meter: MemoryMeter,
+    min_count: float = 0.0,
+) -> Tuple[Dict[str, List[List[int]]], List[str], List[str]]:
+    """Whole-program Ext-TSP over all hot blocks (§4.7)."""
+    nodes: Dict[Tuple[str, int], Tuple[int, float]] = {}
+    edges: List[Tuple[Tuple[str, int], Tuple[str, int], float]] = []
+    hot_funcs: List[str] = []
+    entry_ids: Dict[str, int] = {}
+    for name, fd in dcfg.items():
+        if fd.total_count <= min_count:
+            continue
+        fmap = index.function_map(name)
+        entry_id = fmap.entries[0].bb_id
+        entry_ids[name] = entry_id
+        counts = fd.block_counts
+        hot_ids = [e.bb_id for e in fmap.entries if counts.get(e.bb_id, 0.0) > 0]
+        if entry_id not in hot_ids:
+            hot_ids.insert(0, entry_id)
+        sizes = {e.bb_id: e.size for e in fmap.entries}
+        for bb in hot_ids:
+            nodes[(name, bb)] = (sizes[bb], counts.get(bb, 0.0))
+        edges.extend(
+            ((name, s), (name, d), w)
+            for (s, d), w in fd.edges.items()
+            if (name, s) in nodes and (name, d) in nodes
+        )
+        edges.extend(
+            ((name, a), (name, b), w)
+            for a, b, w in _layout_prior_edges(hot_ids, fd.edges)
+        )
+        hot_funcs.append(name)
+    for (cf, cb, tf, tb), w in block_call_edges.items():
+        if (cf, cb) in nodes and (tf, tb) in nodes:
+            edges.append(((cf, cb), (tf, tb), w))
+    if len(nodes) > options.max_interproc_nodes:
+        raise ValueError(
+            f"inter-procedural graph too large ({len(nodes)} nodes); "
+            f"raise max_interproc_nodes or use intra-function layout"
+        )
+    meter.allocate(len(nodes) * _LAYOUT_NODE_BYTES, "wpa-layout")
+    order = ext_tsp_order(nodes, edges, entry=None, params=options.layout_params)
+    meter.free_category("wpa-layout")
+
+    # Partition the global order into per-function section runs.
+    runs: List[Tuple[str, List[int]]] = []
+    for func, bb in order:
+        if runs and runs[-1][0] == func:
+            runs[-1][1].append(bb)
+        else:
+            runs.append((func, [bb]))
+    clusters: Dict[str, List[List[int]]] = {}
+    run_symbols: List[str] = []
+    for func, ids in runs:
+        entry_id = entry_ids[func]
+        fclusters = clusters.setdefault(func, [])
+        if entry_id in ids:
+            # The entry run becomes the primary cluster (symbol = func).
+            # The backend requires the entry block first in it; any
+            # blocks the global order put before the entry are split
+            # into their own trailing cluster.
+            at = ids.index(entry_id)
+            prefix, primary = ids[:at], ids[at:]
+            fclusters.insert(0, primary)
+            run_symbols.append(func)
+            if prefix:
+                fclusters.append(prefix)
+                run_symbols.append(f"{func}@pending{len(fclusters)}")
+        else:
+            fclusters.append(ids)
+            run_symbols.append(f"{func}@pending{len(fclusters)}")
+    # Assign final numeric suffixes now that primaries are first.
+    position: Dict[str, int] = {}
+    final_symbols: List[str] = []
+    for symbol in run_symbols:
+        if "@pending" in symbol:
+            func = symbol.split("@pending")[0]
+            idx = position.get(func, 0) + 1
+            position[func] = idx
+            final_symbols.append(f"{func}.{idx}")
+        else:
+            final_symbols.append(symbol)
+    has_cold = {
+        func: len([bb for c in fclusters for bb in c]) < len(index.function_map(func).entries)
+        for func, fclusters in clusters.items()
+    }
+    final_symbols.extend(f"{fn}.cold" for fn in clusters if has_cold.get(fn))
+    return clusters, final_symbols, hot_funcs
+
+
+def analyze(
+    exe: Executable,
+    perf: PerfData,
+    options: WPAOptions = WPAOptions(),
+    meter: Optional[MemoryMeter] = None,
+) -> WPAResult:
+    """Run profile conversion and whole-program analysis."""
+    own = meter if meter is not None else MemoryMeter()
+    stats = WPAStats(num_samples=perf.num_samples, profile_bytes=perf.size_bytes)
+
+    index = _AddressMapIndex(exe)
+    stats.bbmap_entries = index.num_entries
+    own.allocate(index.num_entries * _BBMAP_INDEX_ENTRY_BYTES, "wpa-bbmap")
+    own.allocate(perf.size_bytes, "wpa-profile")
+
+    dcfg, call_edges, block_call_edges = _build_dcfg(index, perf, stats)
+    stats.dcfg_nodes = sum(len(fd.block_counts) for fd in dcfg.values())
+    stats.dcfg_edges = sum(fd.num_edges for fd in dcfg.values())
+    own.allocate(
+        stats.dcfg_nodes * _DCFG_NODE_BYTES + stats.dcfg_edges * _DCFG_EDGE_BYTES, "wpa-dcfg"
+    )
+    own.free_category("wpa-profile")
+
+    total_mass = sum(fd.total_count for fd in dcfg.values())
+    min_count = options.hot_function_min_fraction * total_mass
+    if options.interproc:
+        clusters, symbol_order, hot_funcs = _interproc_layout(
+            index, dcfg, block_call_edges, options, own, min_count=min_count
+        )
+    else:
+        clusters, symbol_order, hot_funcs = _intra_layout(
+            index, dcfg, call_edges, options, own, min_count=min_count
+        )
+    prefetches: Dict[str, List[Tuple[int, str]]] = {}
+    if options.insert_prefetches:
+        from repro.core.prefetch import plan_prefetches
+
+        prefetches = {
+            fn: d for fn, d in plan_prefetches(dcfg, block_call_edges).items()
+            if fn in clusters
+        }
+    stats.hot_functions = len(hot_funcs)
+    stats.peak_memory_bytes = own.peak_bytes
+    stats.cost_units = stats.num_records + stats.dcfg_nodes * 20
+    own.free_category("wpa-dcfg")
+    own.free_category("wpa-bbmap")
+    return WPAResult(
+        clusters=clusters,
+        symbol_order=symbol_order,
+        hot_functions=hot_funcs,
+        dcfg=dcfg,
+        call_edges=call_edges,
+        stats=stats,
+        prefetches=prefetches,
+    )

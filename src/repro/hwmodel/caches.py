@@ -1,0 +1,50 @@
+"""Set-associative LRU cache model."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SetAssociativeCache:
+    """A classic set-associative cache with LRU replacement.
+
+    Keys are integers (line/page/branch identifiers); the set index is
+    the key modulo the set count, so callers should pass keys already
+    stripped of offset bits.
+    """
+
+    def __init__(self, num_sets: int, ways: int):
+        if num_sets < 1 or ways < 1:
+            raise ValueError("cache needs at least one set and one way")
+        self.num_sets = num_sets
+        self.ways = ways
+        self._sets: List[List[int]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, key: int) -> bool:
+        """Touch ``key``; returns True on hit.  Misses fill (LRU evict)."""
+        ways = self._sets[key % self.num_sets]
+        try:
+            ways.remove(key)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, key)
+            if len(ways) > self.ways:
+                ways.pop()
+            return False
+        ways.insert(0, key)
+        self.hits += 1
+        return True
+
+    def probe(self, key: int) -> bool:
+        """Check residency without updating recency or counters."""
+        return key in self._sets[key % self.num_sets]
+
+    @property
+    def capacity(self) -> int:
+        return self.num_sets * self.ways
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

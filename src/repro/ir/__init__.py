@@ -1,0 +1,50 @@
+"""Compiler intermediate representation.
+
+A small SSA-free IR sufficient for layout research: modules contain
+functions, functions contain basic blocks of sized instructions, and
+every block ends in a terminator with *ground-truth* edge
+probabilities.  The probabilities define the workload's dynamic
+behaviour (they drive the trace generator); compilers and optimizers in
+this repository may only observe them through profiles.
+"""
+
+from repro.ir.nodes import (
+    BasicBlock,
+    Call,
+    CondBr,
+    Function,
+    Instr,
+    Jump,
+    Module,
+    OpKind,
+    Program,
+    Ret,
+    Switch,
+    Terminator,
+    Unreachable,
+)
+from repro.ir.cfg import predecessor_map, reachable_blocks, successor_edges
+from repro.ir.verify import IRVerificationError, verify_function, verify_module, verify_program
+
+__all__ = [
+    "BasicBlock",
+    "Call",
+    "CondBr",
+    "Function",
+    "Instr",
+    "Jump",
+    "Module",
+    "OpKind",
+    "Program",
+    "Ret",
+    "Switch",
+    "Terminator",
+    "Unreachable",
+    "predecessor_map",
+    "reachable_blocks",
+    "successor_edges",
+    "IRVerificationError",
+    "verify_function",
+    "verify_module",
+    "verify_program",
+]

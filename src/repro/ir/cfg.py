@@ -1,0 +1,59 @@
+"""Control-flow-graph utilities over the IR."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.nodes import BasicBlock, CondBr, Function, Jump, Ret, Switch, Unreachable
+
+
+def successor_edges(block: BasicBlock) -> List[Tuple[int, float]]:
+    """Ground-truth successor edges of a block as (bb_id, probability).
+
+    Exception edges (landing pads) are excluded: they model rare
+    unwinding, which the trace generator does not follow.
+    """
+    term = block.term
+    if isinstance(term, CondBr):
+        return [(term.taken, term.prob), (term.fallthrough, 1.0 - term.prob)]
+    if isinstance(term, Jump):
+        return [(term.target, 1.0)]
+    if isinstance(term, Switch):
+        return list(zip(term.targets, term.probs))
+    if isinstance(term, (Ret, Unreachable)):
+        return []
+    raise TypeError(f"unknown terminator {term!r}")
+
+
+def successor_ids(block: BasicBlock) -> List[int]:
+    """Successor block ids, without probabilities, including landing pads."""
+    ids = [bb_id for bb_id, _ in successor_edges(block)]
+    for instr in block.instrs:
+        landing_pad = getattr(instr, "landing_pad", None)
+        if landing_pad is not None:
+            ids.append(landing_pad)
+    return ids
+
+
+def predecessor_map(function: Function) -> Dict[int, List[int]]:
+    """bb_id -> list of predecessor bb_ids."""
+    preds: Dict[int, List[int]] = {b.bb_id: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in successor_ids(block):
+            preds[succ].append(block.bb_id)
+    return preds
+
+
+def reachable_blocks(function: Function) -> Set[int]:
+    """Block ids reachable from the entry block (landing pads included)."""
+    seen: Set[int] = set()
+    stack = [function.entry.bb_id]
+    while stack:
+        bb_id = stack.pop()
+        if bb_id in seen:
+            continue
+        seen.add(bb_id)
+        for succ in successor_ids(function.block(bb_id)):
+            if succ not in seen:
+                stack.append(succ)
+    return seen

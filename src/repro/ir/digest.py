@@ -1,0 +1,50 @@
+"""Stable content digests for IR modules.
+
+The distributed build cache keys compile actions by the digest of their
+inputs (§3.1).  The digest covers everything that affects code
+generation, so two builds of an unchanged module hit the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ir.nodes import Call, CondBr, Instr, Jump, Module, Ret, Switch, Unreachable
+
+
+def _term_repr(term) -> str:
+    if isinstance(term, CondBr):
+        return f"cb:{term.taken}:{term.fallthrough}:{term.prob:.9f}"
+    if isinstance(term, Jump):
+        return f"j:{term.target}"
+    if isinstance(term, Ret):
+        return "r"
+    if isinstance(term, Switch):
+        targets = ",".join(map(str, term.targets))
+        probs = ",".join(f"{p:.9f}" for p in term.probs)
+        return f"sw:{targets}:{probs}"
+    if isinstance(term, Unreachable):
+        return "u"
+    raise TypeError(f"unknown terminator {term!r}")
+
+
+def module_digest(module: Module) -> str:
+    """SHA-256 digest of a module's full semantic content."""
+    h = hashlib.sha256()
+    h.update(module.name.encode())
+    for function in module.functions:
+        h.update(b"\x00F")
+        h.update(function.name.encode())
+        h.update(b"1" if function.hand_written else b"0")
+        for block in function.blocks:
+            h.update(f"\x00B{block.bb_id}:{int(block.is_landing_pad)}".encode())
+            for instr in block.instrs:
+                if isinstance(instr, Call):
+                    targets = ";".join(f"{t}={p:.9f}" for t, p in instr.indirect_targets)
+                    h.update(f"C{instr.callee}:{targets}:{instr.landing_pad}".encode())
+                elif isinstance(instr, Instr):
+                    h.update(f"I{instr.kind.value}".encode())
+                else:
+                    raise TypeError(f"unknown instruction {instr!r}")
+            h.update(_term_repr(block.term).encode())
+    return h.hexdigest()

@@ -1,0 +1,103 @@
+"""IR structural verifier.
+
+The synthetic workload generator and the IR transforms both promise
+well-formed IR; the verifier makes that promise checkable.  Everything
+downstream (codegen, tracing) assumes verified IR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import successor_edges
+from repro.ir.nodes import Call, CondBr, Function, Module, Program, Switch
+
+
+class IRVerificationError(ValueError):
+    """Raised when IR violates a structural invariant."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise IRVerificationError(message)
+
+
+def verify_function(function: Function) -> None:
+    """Check a single function's CFG invariants."""
+    _check(bool(function.blocks), f"{function.name}: function has no blocks")
+    ids = [b.bb_id for b in function.blocks]
+    _check(len(ids) == len(set(ids)), f"{function.name}: duplicate block ids")
+    for block in function.blocks:
+        for bb_id, prob in successor_edges(block):
+            _check(
+                function.has_block(bb_id),
+                f"{function.name}: bb{block.bb_id} targets missing bb{bb_id}",
+            )
+            _check(
+                0.0 <= prob <= 1.0,
+                f"{function.name}: bb{block.bb_id} edge probability {prob} out of range",
+            )
+        term = block.term
+        if isinstance(term, CondBr):
+            _check(
+                term.taken != term.fallthrough,
+                f"{function.name}: bb{block.bb_id} condbr with identical arms",
+            )
+        if isinstance(term, Switch):
+            _check(
+                len(term.targets) == len(term.probs) and len(term.targets) >= 2,
+                f"{function.name}: bb{block.bb_id} malformed switch",
+            )
+            total = sum(term.probs)
+            _check(
+                abs(total - 1.0) < 1e-6,
+                f"{function.name}: bb{block.bb_id} switch probabilities sum to {total}",
+            )
+        for instr in block.instrs:
+            if isinstance(instr, Call) and instr.landing_pad is not None:
+                _check(
+                    function.has_block(instr.landing_pad),
+                    f"{function.name}: bb{block.bb_id} call has missing landing pad",
+                )
+                _check(
+                    function.block(instr.landing_pad).is_landing_pad,
+                    f"{function.name}: bb{block.bb_id} landing pad target not marked",
+                )
+
+
+def verify_module(module: Module) -> None:
+    for function in module.functions:
+        verify_function(function)
+
+
+def verify_program(program: Program) -> List[str]:
+    """Verify every function and cross-module call targets.
+
+    Returns the list of verified function names (handy in tests).
+    """
+    names: List[str] = []
+    for module in program.modules:
+        verify_module(module)
+        names.extend(f.name for f in module.functions)
+    _check(
+        program.has_function(program.entry_function),
+        f"entry function {program.entry_function!r} not defined",
+    )
+    for module in program.modules:
+        for function in module.functions:
+            for block in function.blocks:
+                for instr in block.instrs:
+                    if not isinstance(instr, Call):
+                        continue
+                    if instr.callee is not None:
+                        _check(
+                            program.has_function(instr.callee),
+                            f"{function.name}: call to undefined {instr.callee!r}",
+                        )
+                    for target, prob in instr.indirect_targets:
+                        _check(
+                            program.has_function(target),
+                            f"{function.name}: indirect target {target!r} undefined",
+                        )
+                        _check(0.0 <= prob <= 1.0, f"{function.name}: bad indirect prob")
+    return names

@@ -1,0 +1,286 @@
+"""The link driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis import MemoryMeter
+from repro.elf import (
+    ExecBlock,
+    Executable,
+    ObjectFile,
+    PlacedSection,
+    Relocation,
+    SectionKind,
+    SymbolInfo,
+    SymbolType,
+    TerminatorKind,
+)
+from repro.elf.executable import ResolvedCall, ResolvedTerminator
+from repro.linker.relax import RelaxStats, apply_relocations, assign_addresses, relax
+from repro.linker.worksection import WorkSection, WorkSymbol
+
+
+class LinkError(Exception):
+    """Raised on unresolved or duplicate symbols and layout errors."""
+
+
+@dataclass(frozen=True)
+class LinkOptions:
+    """Linker configuration.
+
+    ``symbol_order`` is the symbol ordering file (``ld_prof.txt`` in
+    Figure 1): section-leader symbols named here have their sections
+    placed first, in the given order; everything else follows in input
+    order.  ``emit_relocs`` retains static relocations in the output
+    (``--emit-relocs``, required by the BOLT baseline).
+    ``keep_bb_addr_map`` controls whether BB address map metadata
+    survives into the executable (kept for the Propeller metadata
+    binary, dropped at the final relink -- §3.4).
+    """
+
+    symbol_order: Optional[Sequence[str]] = None
+    emit_relocs: bool = False
+    keep_bb_addr_map: bool = True
+    text_base: int = 0x400000
+    page_size: int = 4096
+    entry_symbol: str = "main"
+    relax: bool = True
+    output_name: str = "a.out"
+    features: FrozenSet[str] = frozenset()
+    hugepages: bool = False
+
+
+@dataclass
+class LinkStats:
+    """Link-action accounting (memory model: ~2x inputs + output)."""
+
+    input_bytes: int = 0
+    output_bytes: int = 0
+    peak_memory_bytes: int = 0
+    relocations_applied: int = 0
+    deleted_jumps: int = 0
+    shrunk_branches: int = 0
+    relax_passes: int = 0
+
+    @property
+    def cost_units(self) -> int:
+        """Work proportional to bytes processed (for the build clock)."""
+        return self.input_bytes + self.output_bytes
+
+
+@dataclass
+class LinkResult:
+    executable: Executable
+    stats: LinkStats
+
+
+def link(
+    objects: Sequence[ObjectFile],
+    options: LinkOptions = LinkOptions(),
+    meter: Optional[MemoryMeter] = None,
+) -> LinkResult:
+    """Link ``objects`` into an executable."""
+    stats = LinkStats(input_bytes=sum(obj.total_size for obj in objects))
+    if meter is not None:
+        # The linker holds all inputs plus working copies (~2x), then the output.
+        meter.allocate(2 * stats.input_bytes, "link-inputs")
+
+    work: List[WorkSection] = []
+    defs: Dict[str, Tuple[WorkSection, WorkSymbol]] = {}
+    for obj in objects:
+        by_name: Dict[str, WorkSection] = {}
+        for section in obj.sections:
+            ws = WorkSection(section, origin=obj.name)
+            by_name[section.name] = ws
+            work.append(ws)
+        for sym in obj.symbols:
+            ws = by_name.get(sym.section)
+            if ws is None:
+                raise LinkError(f"{obj.name}: symbol {sym.name} in missing section {sym.section}")
+            wsym = WorkSymbol(
+                name=sym.name, offset=sym.offset, size=sym.size,
+                binding=sym.binding, stype=sym.stype,
+            )
+            ws.symbols.append(wsym)
+            if sym.name in defs:
+                raise LinkError(f"duplicate symbol {sym.name!r}")
+            defs[sym.name] = (ws, wsym)
+
+    def resolve(symbol: str) -> int:
+        entry = defs.get(symbol)
+        if entry is None:
+            raise LinkError(f"undefined symbol {symbol!r}")
+        ws, wsym = entry
+        return ws.vaddr + wsym.offset
+
+    # ----- text layout order ------------------------------------------
+    text = [ws for ws in work if ws.kind == SectionKind.TEXT]
+    if options.symbol_order:
+        chosen: List[WorkSection] = []
+        placed = set()
+        for name in options.symbol_order:
+            entry = defs.get(name)
+            if entry is None:
+                continue  # stale ordering entries are ignored, like real linkers
+            ws, wsym = entry
+            if wsym.offset != 0 or ws.kind != SectionKind.TEXT or id(ws) in placed:
+                continue
+            chosen.append(ws)
+            placed.add(id(ws))
+        chosen.extend(ws for ws in text if id(ws) not in placed)
+        text = chosen
+
+    # ----- relaxation and address assignment ---------------------------
+    if options.relax:
+        relax_stats = relax(text, options.text_base, resolve)
+    else:
+        relax_stats = RelaxStats()
+        assign_addresses(text, options.text_base)
+    stats.deleted_jumps = relax_stats.deleted_jumps
+    stats.shrunk_branches = relax_stats.shrunk_branches
+    stats.relax_passes = relax_stats.passes
+    # Relaxation shrank sections; refresh function symbol sizes.
+    for ws in text:
+        for wsym in ws.symbols:
+            if wsym.stype == SymbolType.FUNC:
+                wsym.size = ws.size - wsym.offset
+    text_end = text[-1].vaddr + text[-1].size if text else options.text_base
+
+    # ----- non-text placement ------------------------------------------
+    page = options.page_size
+    cursor = (text_end + page - 1) & ~(page - 1)
+    rodata = [ws for ws in work if ws.kind in (SectionKind.RODATA, SectionKind.DATA)]
+    for ws in rodata:
+        align = max(ws.alignment, 1)
+        cursor = (cursor + align - 1) & ~(align - 1)
+        ws.vaddr = cursor
+        cursor += ws.size
+
+    text_by_name = {ws.name: ws for ws in text}
+    nonalloc: List[WorkSection] = []
+    for ws in work:
+        if ws.kind in (SectionKind.TEXT, SectionKind.RODATA, SectionKind.DATA):
+            continue
+        if ws.kind == SectionKind.BB_ADDR_MAP:
+            linked_text = text_by_name.get(ws.link_name)
+            if not options.keep_bb_addr_map or linked_text is None:
+                continue  # dropped by the linker (§3.4)
+            # Relaxation moved block boundaries; re-encode the map from
+            # the final section geometry so profile mapping stays exact.
+            ws.data = bytearray(_reencode_bb_addr_map(linked_text))
+        nonalloc.append(ws)
+    cursor = (cursor + page - 1) & ~(page - 1)
+    for ws in nonalloc:
+        ws.vaddr = cursor
+        cursor += ws.size
+
+    # ----- relocations --------------------------------------------------
+    stats.relocations_applied = apply_relocations(text + rodata, resolve)
+    retained: List[Tuple[int, Relocation]] = []
+    if options.emit_relocs:
+        for ws in text:
+            for reloc in ws.relocations:
+                retained.append((ws.vaddr + reloc.offset, replace(reloc)))
+
+    # ----- assemble the executable --------------------------------------
+    placed_sections = [
+        PlacedSection(name=ws.name, kind=ws.kind, vaddr=ws.vaddr,
+                      data=bytes(ws.data), origin=ws.origin)
+        for ws in text + rodata + nonalloc
+    ]
+    symbols: Dict[str, SymbolInfo] = {}
+    for name, (ws, wsym) in defs.items():
+        if name.startswith(".L"):
+            continue  # assembler temporaries never reach the symbol table
+        symbols[name] = SymbolInfo(
+            name=name, addr=ws.vaddr + wsym.offset, size=wsym.size,
+            stype=wsym.stype, binding=wsym.binding,
+        )
+
+    exec_blocks = _resolve_exec_blocks(text, resolve)
+    executable = Executable(
+        name=options.output_name,
+        entry=resolve(options.entry_symbol),
+        sections=placed_sections,
+        symbols=symbols,
+        exec_blocks=exec_blocks,
+        retained_relocations=retained,
+        features=options.features,
+        hugepages=options.hugepages,
+    )
+    stats.output_bytes = executable.total_size
+    stats.peak_memory_bytes = 2 * stats.input_bytes + stats.output_bytes
+    if meter is not None:
+        meter.allocate(stats.output_bytes, "link-output")
+        meter.free(2 * stats.input_bytes, "link-inputs")
+        meter.free(stats.output_bytes, "link-output")
+    return LinkResult(executable=executable, stats=stats)
+
+
+def _reencode_bb_addr_map(ws: WorkSection) -> bytes:
+    """Serialize a text section's final block geometry as its address map."""
+    from repro.elf import SymbolType, bbaddrmap
+    from repro.elf.metadata import TerminatorKind
+
+    leader = next(
+        (s.name for s in ws.symbols if s.offset == 0 and s.stype == SymbolType.FUNC),
+        None,
+    )
+    if leader is None:
+        return b""
+    entries = []
+    for meta in ws.blocks:
+        flags = 0
+        if meta.is_landing_pad:
+            flags |= bbaddrmap.FLAG_LANDING_PAD
+        if meta.term.kind == TerminatorKind.RET:
+            flags |= bbaddrmap.FLAG_HAS_RETURN
+        if meta.term.kind == TerminatorKind.IJMP:
+            flags |= bbaddrmap.FLAG_HAS_INDIRECT_JUMP
+        entries.append(
+            bbaddrmap.BBEntry(bb_id=meta.bb_id, offset=meta.offset, size=meta.size, flags=flags)
+        )
+    return bbaddrmap.encode_function_map(
+        bbaddrmap.FunctionMap(func=leader, entries=tuple(entries))
+    )
+
+
+def _resolve_exec_blocks(text: List[WorkSection], resolve) -> List[ExecBlock]:
+    blocks: List[ExecBlock] = []
+    for ws in text:
+        for meta in ws.blocks:
+            term = meta.term
+            resolved_term = ResolvedTerminator(
+                kind=term.kind.value if isinstance(term.kind, TerminatorKind) else str(term.kind),
+                cond_target=resolve(term.cond_target) if term.cond_target else 0,
+                cond_prob=term.cond_prob,
+                cond_br_addr=ws.vaddr + term.cond_br_offset if term.cond_br_offset >= 0 else -1,
+                cond_br_size=term.cond_br_size,
+                uncond_target=resolve(term.uncond_target) if term.uncond_target else None,
+                uncond_br_addr=ws.vaddr + term.uncond_br_offset if term.uncond_br_offset >= 0 else -1,
+                uncond_br_size=term.uncond_br_size,
+                end_instr_addr=ws.vaddr + term.end_instr_offset if term.end_instr_offset >= 0 else -1,
+                end_instr_size=term.end_instr_size,
+                ijmp_targets=tuple((resolve(sym), prob) for sym, prob in term.ijmp_targets),
+            )
+            calls = tuple(
+                ResolvedCall(
+                    addr=ws.vaddr + call.offset,
+                    size=call.size,
+                    target=resolve(call.callee) if call.callee else None,
+                    indirect_targets=tuple(
+                        (resolve(sym), prob) for sym, prob in call.indirect_targets
+                    ),
+                )
+                for call in meta.calls
+            )
+            blocks.append(ExecBlock(
+                addr=ws.vaddr + meta.offset, size=meta.size, func=meta.func,
+                bb_id=meta.bb_id, term=resolved_term, calls=calls,
+                prefetch_targets=tuple(resolve(p.symbol) for p in meta.prefetches),
+                is_landing_pad=meta.is_landing_pad,
+            ))
+    blocks.sort(key=lambda b: b.addr)
+    return blocks

@@ -1,0 +1,112 @@
+"""Mutable per-section working state used during linking.
+
+The linker never mutates input objects (they live in the build cache
+and must stay byte-stable); it copies each section into a
+:class:`WorkSection` whose bytes, relocations, fixups, symbols and
+block metadata are rewritten together by the relaxation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.elf import (
+    BlockMeta,
+    BranchFixup,
+    CallSite,
+    Relocation,
+    Section,
+    SectionKind,
+    TerminatorMeta,
+)
+
+
+@dataclass
+class WorkSymbol:
+    """A symbol defined in this section, tracked by mutable offset."""
+
+    name: str
+    offset: int
+    size: int
+    binding: object
+    stype: object
+
+
+class WorkSection:
+    """A deep, mutable copy of one input section."""
+
+    def __init__(self, section: Section, origin: str):
+        self.name = section.name
+        self.kind = section.kind
+        self.alignment = section.alignment
+        self.link_name = section.link_name
+        self.origin = origin
+        self.data = bytearray(section.data)
+        self.relocations: List[Relocation] = [replace(r) for r in section.relocations]
+        self.fixups: List[BranchFixup] = [replace(f) for f in section.branch_fixups]
+        self.blocks: List[BlockMeta] = [
+            BlockMeta(
+                bb_id=b.bb_id, func=b.func, offset=b.offset, size=b.size,
+                term=replace(b.term), calls=[replace(c) for c in b.calls],
+                prefetches=[replace(p) for p in b.prefetches],
+                is_landing_pad=b.is_landing_pad, freq=b.freq,
+            )
+            for b in section.blocks
+        ]
+        self.symbols: List[WorkSymbol] = []
+        self.vaddr = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def splice(self, offset: int, old_len: int, new_bytes: bytes) -> int:
+        """Replace ``old_len`` bytes at ``offset`` with ``new_bytes``.
+
+        Shifts every offset-bearing record past the splice point and
+        resizes the block containing it.  Relocations *inside* the
+        replaced range are dropped (the caller re-adds any replacement).
+        Returns the byte delta (negative when shrinking).
+        """
+        if offset < 0 or offset + old_len > len(self.data):
+            raise ValueError("splice range out of bounds")
+        delta = len(new_bytes) - old_len
+        self.data[offset : offset + old_len] = new_bytes
+        end = offset + old_len
+
+        self.relocations = [
+            r for r in self.relocations if not (offset <= r.offset < end)
+        ]
+        for reloc in self.relocations:
+            if reloc.offset >= end:
+                reloc.offset += delta
+        for fixup in self.fixups:
+            if fixup.offset >= end:
+                fixup.offset += delta
+        for sym in self.symbols:
+            if sym.offset > offset:
+                sym.offset += delta
+        for block in self.blocks:
+            term = block.term
+            if block.offset > offset:
+                block.offset += delta
+            elif block.offset <= offset < block.offset + block.size:
+                block.size += delta
+            for attr in ("cond_br_offset", "uncond_br_offset", "end_instr_offset"):
+                value = getattr(term, attr)
+                if value >= end:
+                    setattr(term, attr, value + delta)
+            for call in block.calls:
+                if call.offset >= end:
+                    call.offset += delta
+            for prefetch in block.prefetches:
+                if prefetch.offset >= end:
+                    prefetch.offset += delta
+        return delta
+
+    def block_containing(self, offset: int) -> Optional[BlockMeta]:
+        for block in self.blocks:
+            if block.offset <= offset < block.offset + block.size:
+                return block
+        return None

@@ -1,0 +1,40 @@
+"""Profiling substrate: execution traces, LBR sampling, PGO profiles.
+
+Stands in for "run the binary under representative load and sample it
+with Linux perf" (§3.3).  The trace generator walks the linked
+executable's resolved execution model using the workload's ground-truth
+branch probabilities; the LBR sampler captures last-32-taken-branch
+records at a fixed period, exactly mirroring Intel LBR semantics; and
+the IR-level walker produces the instrumented PGO profile the baseline
+build consumes.
+"""
+
+from repro.profiling.trace import (
+    BRANCH_KIND_CALL,
+    BRANCH_KIND_COND,
+    BRANCH_KIND_IJMP,
+    BRANCH_KIND_JMP,
+    BRANCH_KIND_RET,
+    Trace,
+    generate_trace,
+)
+from repro.profiling.lbr import LBRSample, PerfData, collect_lbr_profile, sample_lbr
+from repro.profiling.pgo import IRProfile, collect_ir_profile
+from repro.profiling.autofdo import convert_to_ir_profile
+
+__all__ = [
+    "BRANCH_KIND_CALL",
+    "BRANCH_KIND_COND",
+    "BRANCH_KIND_IJMP",
+    "BRANCH_KIND_JMP",
+    "BRANCH_KIND_RET",
+    "Trace",
+    "generate_trace",
+    "LBRSample",
+    "PerfData",
+    "collect_lbr_profile",
+    "sample_lbr",
+    "IRProfile",
+    "collect_ir_profile",
+    "convert_to_ir_profile",
+]

@@ -1,0 +1,31 @@
+"""Synthetic workload generation.
+
+Stands in for the paper's benchmark programs (Table 2): warehouse-scale
+applications, Clang, MySQL and the SPEC2017 integer suite.  A workload
+is a whole :class:`repro.ir.Program` with realistic shape parameters --
+function counts, blocks per function, bytes per block, the fraction of
+modules containing no hot code -- drawn from the paper's Table 2, plus
+ground-truth branch probabilities that concentrate execution on a small
+hot path (the warehouse-scale property §4.6 cites: in half the hottest
+functions, more than 50% of code bytes are untouched).
+"""
+
+from repro.synth.presets import (
+    ALL_PRESETS,
+    PRESETS,
+    SPEC_PRESETS,
+    WSC_PRESETS,
+    OPEN_SOURCE_PRESETS,
+    WorkloadPreset,
+)
+from repro.synth.generator import generate_workload
+
+__all__ = [
+    "ALL_PRESETS",
+    "PRESETS",
+    "SPEC_PRESETS",
+    "WSC_PRESETS",
+    "OPEN_SOURCE_PRESETS",
+    "WorkloadPreset",
+    "generate_workload",
+]

@@ -1,0 +1,141 @@
+"""Workload presets mirroring Table 2 of the paper.
+
+Counts are stored at *paper scale*; :func:`repro.synth.generate_workload`
+takes a ``scale`` factor, so the same presets serve fast unit tests
+(scale ~1e-3) and the benchmark harness (scale ~1e-2).
+
+``features`` model the traits §5.8 reports breaking BOLT on three of
+the four warehouse-scale applications:
+
+* ``rseq`` -- restartable sequences whose abort handlers point into
+  ``.text``; binary rewriting moves the code out from under them
+  (Spanner).
+* ``fips_integrity`` -- a FIPS-140-2 startup check hashing the text
+  segment; a rewritten text fails the check at startup (Bigtable).
+* ``huge_binary`` -- enough eh_frame data to trip the rewriter's
+  out-of-bounds frame registration (Superroot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+
+@dataclass(frozen=True)
+class WorkloadPreset:
+    """Shape parameters for one synthetic benchmark."""
+
+    name: str
+    kind: str  # "wsc" | "opensource" | "spec"
+    funcs: int
+    total_bbs: int
+    text_bytes: int
+    pct_cold_objects: float
+    metric: str
+    features: FrozenSet[str] = frozenset()
+    hugepages: bool = False
+    funcs_per_module: int = 8
+    #: Probability that a hot function makes an indirect call.
+    indirect_call_rate: float = 0.10
+    #: Probability that a function has exception landing pads.
+    exception_rate: float = 0.10
+    #: Probability that a switch's jump table is embedded in text
+    #: (data-in-code: the disassembly hazard of §2.4).
+    inline_jumptable_rate: float = 0.0
+    #: Default generation scale used by the benchmark harness.
+    bench_scale: float = 0.01
+
+    @property
+    def bbs_per_func(self) -> float:
+        return self.total_bbs / self.funcs
+
+    @property
+    def bytes_per_bb(self) -> float:
+        return self.text_bytes / self.total_bbs
+
+
+_MB = 1 << 20
+_KB = 1 << 10
+
+#: Warehouse-scale applications (Table 2).
+WSC_PRESETS: List[WorkloadPreset] = [
+    WorkloadPreset(
+        name="spanner", kind="wsc", funcs=562_000, total_bbs=7_800_000,
+        text_bytes=175 * _MB, pct_cold_objects=0.83, metric="Latency",
+        features=frozenset({"rseq"}), inline_jumptable_rate=0.02, bench_scale=0.004,
+    ),
+    WorkloadPreset(
+        name="search", kind="wsc", funcs=1_700_000, total_bbs=18_000_000,
+        text_bytes=413 * _MB, pct_cold_objects=0.95, metric="QPS",
+        hugepages=True, bench_scale=0.0015,
+    ),
+    WorkloadPreset(
+        name="superroot", kind="wsc", funcs=2_700_000, total_bbs=30_000_000,
+        text_bytes=598 * _MB, pct_cold_objects=0.82, metric="QPS",
+        features=frozenset({"huge_binary"}), inline_jumptable_rate=0.02,
+        bench_scale=0.001,
+    ),
+    WorkloadPreset(
+        name="bigtable", kind="wsc", funcs=368_000, total_bbs=4_200_000,
+        text_bytes=93 * _MB, pct_cold_objects=0.88, metric="QPS",
+        features=frozenset({"fips_integrity"}), inline_jumptable_rate=0.02,
+        bench_scale=0.006,
+    ),
+]
+
+#: Open-source workloads (Table 2).
+OPEN_SOURCE_PRESETS: List[WorkloadPreset] = [
+    WorkloadPreset(
+        name="clang", kind="opensource", funcs=160_000, total_bbs=2_100_000,
+        text_bytes=72 * _MB, pct_cold_objects=0.67, metric="Walltime",
+        bench_scale=0.01,
+    ),
+    WorkloadPreset(
+        name="mysql", kind="opensource", funcs=61_000, total_bbs=1_400_000,
+        text_bytes=26 * _MB, pct_cold_objects=0.93, metric="Latency",
+        exception_rate=0.15, bench_scale=0.02,
+    ),
+]
+
+#: SPEC2017 integer benchmarks built with clang (520.omnetpp excluded,
+#: which fails to build -- §5.4).
+SPEC_PRESETS: List[WorkloadPreset] = [
+    WorkloadPreset(
+        name="500.perlbench", kind="spec", funcs=4_000, total_bbs=55_000,
+        text_bytes=2 * _MB, pct_cold_objects=0.45, metric="Walltime", bench_scale=0.25,
+    ),
+    WorkloadPreset(
+        name="502.gcc", kind="spec", funcs=12_000, total_bbs=107_000,
+        text_bytes=4 * _MB, pct_cold_objects=0.40, metric="Walltime", bench_scale=0.12,
+    ),
+    WorkloadPreset(
+        name="505.mcf", kind="spec", funcs=80, total_bbs=1_000,
+        text_bytes=34 * _KB, pct_cold_objects=0.21, metric="Walltime", bench_scale=1.0,
+    ),
+    WorkloadPreset(
+        name="523.xalancbmk", kind="spec", funcs=8_000, total_bbs=60_000,
+        text_bytes=3 * _MB, pct_cold_objects=0.70, metric="Walltime",
+        exception_rate=0.25, bench_scale=0.15,
+    ),
+    WorkloadPreset(
+        name="525.x264", kind="spec", funcs=2_000, total_bbs=25_000,
+        text_bytes=1 * _MB, pct_cold_objects=0.50, metric="Walltime", bench_scale=0.5,
+    ),
+    WorkloadPreset(
+        name="531.deepsjeng", kind="spec", funcs=300, total_bbs=4_000,
+        text_bytes=150 * _KB, pct_cold_objects=0.35, metric="Walltime", bench_scale=1.0,
+    ),
+    WorkloadPreset(
+        name="541.leela", kind="spec", funcs=600, total_bbs=8_000,
+        text_bytes=300 * _KB, pct_cold_objects=0.60, metric="Walltime", bench_scale=1.0,
+    ),
+    WorkloadPreset(
+        name="557.xz", kind="spec", funcs=400, total_bbs=5_000,
+        text_bytes=200 * _KB, pct_cold_objects=0.30, metric="Walltime", bench_scale=1.0,
+    ),
+]
+
+ALL_PRESETS: List[WorkloadPreset] = WSC_PRESETS + OPEN_SOURCE_PRESETS + SPEC_PRESETS
+
+PRESETS: Dict[str, WorkloadPreset] = {p.name: p for p in ALL_PRESETS}

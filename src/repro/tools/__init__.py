@@ -1,0 +1,30 @@
+"""Standalone tooling: file formats and a command-line interface.
+
+The paper ships its whole-program analysis as a standalone tool
+(Table 1, [29]); this package provides the equivalent surface for the
+simulation: stable on-disk formats for workloads (JSON) and LBR
+profiles (a compact binary format), plus a CLI that drives the
+pipeline stage by stage::
+
+    python -m repro.tools generate --preset clang --scale 0.01 -o prog.json
+    python -m repro.tools optimize prog.json --report report.txt
+    python -m repro.tools compare prog.json          # Propeller vs BOLT
+"""
+
+from repro.tools.io import (
+    load_perf_data,
+    load_program,
+    program_from_json,
+    program_to_json,
+    save_perf_data,
+    save_program,
+)
+
+__all__ = [
+    "load_perf_data",
+    "load_program",
+    "program_from_json",
+    "program_to_json",
+    "save_perf_data",
+    "save_program",
+]

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro.tools <command>``.
+
+Commands mirror the paper's tool flow:
+
+* ``generate``  -- synthesize a workload (Table 2 presets) to JSON;
+* ``presets``   -- list the available workload presets;
+* ``profile``   -- build the metadata binary and collect an LBR profile;
+* ``wpa``       -- the create_llvm_prof analogue: profile -> cc_prof/ld_prof;
+* ``optimize``  -- run all four phases and report;
+* ``compare``   -- Propeller vs BOLT on one workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import Table, format_bytes
+from repro.core.pipeline import PipelineConfig, PropellerPipeline
+from repro.synth import ALL_PRESETS, PRESETS, generate_workload
+from repro.tools.io import load_perf_data, load_program, save_perf_data, save_program
+
+
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--lbr-branches", type=int, default=400_000,
+                        help="profiling run length in taken branches")
+    parser.add_argument("--pgo-steps", type=int, default=200_000)
+    parser.add_argument("--workers", type=int, default=72)
+    parser.add_argument("--enforce-ram", action="store_true",
+                        help="apply the per-action RAM limit (remote builds)")
+
+
+def _config(args) -> PipelineConfig:
+    return PipelineConfig(
+        seed=args.seed,
+        lbr_branches=args.lbr_branches,
+        pgo_steps=args.pgo_steps,
+        workers=args.workers,
+        enforce_ram=args.enforce_ram,
+    )
+
+
+def cmd_presets(_args) -> int:
+    table = Table(["preset", "kind", "funcs", "basic blocks", "text", "% cold"])
+    for preset in ALL_PRESETS:
+        table.add_row(
+            preset.name, preset.kind, preset.funcs, preset.total_bbs,
+            format_bytes(preset.text_bytes), f"{100 * preset.pct_cold_objects:.0f}%",
+        )
+    print(table)
+    return 0
+
+
+def cmd_generate(args) -> int:
+    preset = PRESETS.get(args.preset)
+    if preset is None:
+        print(f"unknown preset {args.preset!r}; see `presets`", file=sys.stderr)
+        return 2
+    program = generate_workload(preset, scale=args.scale, seed=args.seed)
+    save_program(program, args.output)
+    print(f"{args.output}: {program.num_functions} functions, "
+          f"{program.num_blocks} basic blocks, {len(program.modules)} modules")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    program = load_program(args.program)
+    pipe = PropellerPipeline(program, _config(args))
+    profile = pipe.collect_pgo_profile()
+    metadata = pipe.build(
+        "pgo+map", pipe.metadata_options(profile),
+        pipe._link_options("metadata.out", keep_bb_addr_map=True),
+    )
+    from repro.profiling import generate_trace, sample_lbr
+
+    trace = generate_trace(metadata.executable, max_branches=args.lbr_branches,
+                           seed=args.seed + 1, record_blocks=False)
+    perf = sample_lbr(trace, period=31, binary_name="metadata.out")
+    save_perf_data(perf, args.output)
+    print(f"{args.output}: {perf.num_samples} samples, "
+          f"{perf.num_records} records ({format_bytes(perf.size_bytes)})")
+    return 0
+
+
+def cmd_wpa(args) -> int:
+    program = load_program(args.program)
+    pipe = PropellerPipeline(program, _config(args))
+    profile = pipe.collect_pgo_profile()
+    metadata = pipe.build(
+        "pgo+map", pipe.metadata_options(profile),
+        pipe._link_options("metadata.out", keep_bb_addr_map=True),
+    )
+    perf = load_perf_data(args.perf)
+    from repro.core.wpa import analyze
+
+    result = analyze(metadata.executable, perf)
+    Path(args.cc_prof).write_text(result.cc_prof_text)
+    Path(args.ld_prof).write_text(result.ld_prof_text)
+    print(f"{len(result.hot_functions)} hot functions; "
+          f"peak memory {format_bytes(result.stats.peak_memory_bytes)}")
+    print(f"wrote {args.cc_prof} and {args.ld_prof}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    program = load_program(args.program)
+    result = PropellerPipeline(program, _config(args)).run()
+    print(result.summary())
+    if args.report:
+        Path(args.report).write_text(result.summary() + "\n")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.bolt import BoltError, BoltStartupCrash, check_startup, run_bolt
+    from repro.hwmodel import simulate_frontend
+    from repro.hwmodel.frontend import DEFAULT_PARAMS
+    from repro.profiling import generate_trace
+
+    program = load_program(args.program)
+    pipe = PropellerPipeline(program, _config(args))
+    result = pipe.run()
+    bm = pipe.build_bolt_input(result.ir_profile)
+    bolt_exe = None
+    bolt_note = "ok"
+    try:
+        bolt = run_bolt(bm.executable, result.perf)
+        check_startup(bolt.executable)
+        bolt_exe = bolt.executable
+    except BoltError as exc:
+        bolt_note = f"rewrite failed: {exc}"
+    except BoltStartupCrash as exc:
+        bolt_note = f"startup crash: {exc}"
+
+    params = DEFAULT_PARAMS.scaled(args.hw_scale)
+    rows = [("baseline", result.baseline.executable),
+            ("propeller", result.optimized.executable)]
+    if bolt_exe is not None:
+        rows.append(("bolt", bolt_exe))
+    table = Table(["binary", "cycles", "L1i miss", "iTLB miss", "taken branches",
+                   "vs baseline"])
+    base_cycles: Optional[float] = None
+    for label, exe in rows:
+        trace = generate_trace(exe, max_blocks=args.blocks, seed=77)
+        c = simulate_frontend(exe, trace, params)
+        if base_cycles is None:
+            base_cycles = c.cycles
+        table.add_row(label, f"{c.cycles / 1e6:.2f}M", c.l1i_miss, c.itlb_miss,
+                      c.taken_branches, f"{100 * (base_cycles / c.cycles - 1):+.2f}%")
+    print(table)
+    if bolt_exe is None:
+        print(f"\nBOLT: {bolt_note}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools", description="Propeller reproduction toolchain"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list workload presets").set_defaults(fn=cmd_presets)
+
+    p = sub.add_parser("generate", help="synthesize a workload")
+    p.add_argument("--preset", required=True)
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("profile", help="collect an LBR profile")
+    p.add_argument("program")
+    p.add_argument("-o", "--output", required=True)
+    _add_pipeline_args(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("wpa", help="whole-program analysis (create_llvm_prof)")
+    p.add_argument("program")
+    p.add_argument("perf")
+    p.add_argument("--cc-prof", default="cc_prof.txt")
+    p.add_argument("--ld-prof", default="ld_prof.txt")
+    _add_pipeline_args(p)
+    p.set_defaults(fn=cmd_wpa)
+
+    p = sub.add_parser("optimize", help="run all four phases")
+    p.add_argument("program")
+    p.add_argument("--report")
+    _add_pipeline_args(p)
+    p.set_defaults(fn=cmd_optimize)
+
+    p = sub.add_parser("compare", help="Propeller vs BOLT")
+    p.add_argument("program")
+    p.add_argument("--blocks", type=int, default=300_000)
+    p.add_argument("--hw-scale", type=int, default=16)
+    _add_pipeline_args(p)
+    p.set_defaults(fn=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic workloads and built artifacts.
+
+Session-scoped so the expensive compile/link/profile work happens once
+per test run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import CodeGenOptions, compile_program
+from repro.core.pipeline import PipelineConfig, PropellerPipeline
+from repro.linker import LinkOptions, link
+from repro.synth import PRESETS, generate_workload
+
+
+@pytest.fixture(scope="session")
+def small_program():
+    """A small but structurally complete workload (mcf-shaped)."""
+    return generate_workload(PRESETS["505.mcf"], scale=1.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_program():
+    """The smallest workload that still has hot and cold modules."""
+    return generate_workload(PRESETS["531.deepsjeng"], scale=0.3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_objects(small_program):
+    return compile_program(small_program, CodeGenOptions(bb_addr_map=True))
+
+
+@pytest.fixture(scope="session")
+def small_executable(small_objects):
+    result = link([c.obj for c in small_objects], LinkOptions(keep_bb_addr_map=True))
+    return result.executable
+
+
+@pytest.fixture(scope="session")
+def pipeline_config():
+    return PipelineConfig(
+        lbr_branches=120_000,
+        lbr_period=31,
+        pgo_steps=60_000,
+        workers=72,
+        enforce_ram=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_program, pipeline_config):
+    return PropellerPipeline(small_program, pipeline_config).run()

@@ -1,0 +1,112 @@
+"""Tests for the distributed build system simulator."""
+
+import pytest
+
+from repro.buildsys import BuildSystem, ResourceLimitExceeded
+from repro.buildsys.build import CACHE_HIT_SECONDS, action_key
+
+
+def _compute(value=1, cost=2.0, peak=100):
+    return lambda: (value, cost, peak)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        bs = BuildSystem()
+        first = bs.run_action("codegen", ["d1", "t1"], _compute())
+        assert not first.cache_hit
+        second = bs.run_action("codegen", ["d1", "t1"], _compute(value=999))
+        assert second.cache_hit
+        assert second.value == 1  # cached value, not recomputed
+        assert second.cost_seconds == CACHE_HIT_SECONDS
+
+    def test_different_keys_miss(self):
+        bs = BuildSystem()
+        bs.run_action("codegen", ["d1", "t1"], _compute())
+        other = bs.run_action("codegen", ["d1", "t2"], _compute())
+        assert not other.cache_hit
+        assert bs.stats.misses == 2
+
+    def test_kind_part_of_key(self):
+        bs = BuildSystem()
+        bs.run_action("codegen", ["d1"], _compute())
+        assert not bs.run_action("link", ["d1"], _compute()).cache_hit
+
+    def test_hit_rate(self):
+        bs = BuildSystem()
+        bs.run_action("a", ["x"], _compute())
+        bs.run_action("a", ["x"], _compute())
+        bs.run_action("a", ["y"], _compute())
+        assert bs.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_evict_all(self):
+        bs = BuildSystem()
+        bs.run_action("a", ["x"], _compute())
+        bs.evict_all()
+        assert not bs.run_action("a", ["x"], _compute()).cache_hit
+
+    def test_action_key_stable(self):
+        assert action_key("k", "a", "b") == action_key("k", "a", "b")
+        assert action_key("k", "a", "b") != action_key("k", "ab")
+
+    def test_contains(self):
+        bs = BuildSystem()
+        result = bs.run_action("a", ["x"], _compute())
+        assert result.key in bs
+
+
+class TestResourceLimits:
+    def test_over_limit_rejected(self):
+        bs = BuildSystem(ram_limit=1000, enforce_ram=True)
+        with pytest.raises(ResourceLimitExceeded):
+            bs.run_action("bolt", ["d"], _compute(peak=2000))
+
+    def test_limit_not_enforced_on_workstation(self):
+        bs = BuildSystem(ram_limit=1000, enforce_ram=False)
+        result = bs.run_action("bolt", ["d"], _compute(peak=2000))
+        assert result.peak_memory == 2000
+
+    def test_local_actions_bypass_limit(self):
+        bs = BuildSystem(ram_limit=1000, enforce_ram=True)
+        result = bs.run_action("link", ["d"], _compute(peak=2000), remote=False)
+        assert result.peak_memory == 2000
+
+    def test_error_message_carries_sizes(self):
+        bs = BuildSystem(ram_limit=1 << 30, enforce_ram=True)
+        with pytest.raises(ResourceLimitExceeded) as exc:
+            bs.run_action("bolt", ["d"], _compute(peak=5 << 30))
+        assert exc.value.needed == 5 << 30
+
+
+class TestScheduling:
+    def test_makespan_limited_by_longest_action(self):
+        bs = BuildSystem(workers=100)
+        results = [bs.run_action("a", [str(i)], _compute(cost=1.0)) for i in range(5)]
+        results.append(bs.run_action("a", ["big"], _compute(cost=60.0)))
+        report = bs.schedule(results)
+        assert report.wall_seconds == pytest.approx(60.0)
+        assert report.cpu_seconds == pytest.approx(65.0)
+
+    def test_makespan_limited_by_throughput(self):
+        bs = BuildSystem(workers=2)
+        results = [bs.run_action("a", [str(i)], _compute(cost=1.0)) for i in range(10)]
+        report = bs.schedule(results)
+        assert report.wall_seconds == pytest.approx(5.0)
+
+    def test_cache_hits_counted(self):
+        bs = BuildSystem()
+        r1 = bs.run_action("a", ["x"], _compute())
+        r2 = bs.run_action("a", ["x"], _compute())
+        report = bs.schedule([r1, r2])
+        assert report.cache_hits == 1
+        assert report.actions == 2
+
+    def test_peak_action_memory(self):
+        bs = BuildSystem(enforce_ram=False)
+        r1 = bs.run_action("a", ["x"], _compute(peak=10))
+        r2 = bs.run_action("a", ["y"], _compute(peak=50))
+        assert bs.schedule([r1, r2]).peak_action_memory == 50
+
+    def test_needs_workers(self):
+        with pytest.raises(ValueError):
+            BuildSystem(workers=0)

@@ -1,0 +1,292 @@
+"""Tests for IR-to-machine lowering: sections, clusters, metadata."""
+
+import pytest
+
+from repro import ir
+from repro.codegen import BBSectionsMode, CodeGenOptions, compile_module
+from repro.codegen.lowering import _pgo_block_order, bb_label
+from repro.elf import SectionKind, SymbolBinding, TerminatorKind, bbaddrmap
+from repro.isa import Opcode, decode_range
+
+
+def _func(name="f", lp=False):
+    blocks = [
+        ir.BasicBlock(bb_id=0, instrs=[ir.Instr(ir.OpKind.ALU8)],
+                      term=ir.CondBr(taken=2, fallthrough=1, prob=0.2)),
+        ir.BasicBlock(bb_id=1, instrs=[ir.Instr(ir.OpKind.LOAD)], term=ir.Jump(3)),
+        ir.BasicBlock(bb_id=2, instrs=[ir.Instr(ir.OpKind.MOV)], term=ir.Jump(3)),
+        ir.BasicBlock(bb_id=3, instrs=[ir.Instr(ir.OpKind.CMP)], term=ir.Ret()),
+    ]
+    if lp:
+        blocks[0].instrs.append(ir.Call(callee="g", landing_pad=4))
+        blocks.append(ir.BasicBlock(bb_id=4, instrs=[ir.Instr(ir.OpKind.NOP)],
+                                    term=ir.Ret(), is_landing_pad=True))
+    return ir.Function(name=name, blocks=blocks)
+
+
+def _module(*funcs):
+    return ir.Module(name="mod", functions=list(funcs))
+
+
+class TestFunctionSections:
+    def test_one_text_section_per_function(self):
+        compiled = compile_module(_module(_func("a"), _func("b")), CodeGenOptions())
+        texts = compiled.obj.sections_of_kind(SectionKind.TEXT)
+        assert {s.name for s in texts} == {".text.a", ".text.b"}
+
+    def test_function_symbol_is_global_func(self):
+        compiled = compile_module(_module(_func("a")), CodeGenOptions())
+        sym = next(s for s in compiled.obj.symbols if s.name == "a")
+        assert sym.binding == SymbolBinding.GLOBAL
+        assert sym.offset == 0
+        assert sym.size == compiled.obj.section(".text.a").size
+
+    def test_block_labels_are_temporaries(self):
+        compiled = compile_module(_module(_func("a")), CodeGenOptions())
+        labels = [s.name for s in compiled.obj.symbols if s.name.startswith(".L")]
+        assert bb_label("a", 0) in labels
+        assert len(labels) == 4
+
+    def test_block_metadata_covers_section(self):
+        compiled = compile_module(_module(_func("a")), CodeGenOptions())
+        section = compiled.obj.section(".text.a")
+        assert [b.bb_id for b in section.blocks] == [0, 1, 2, 3]
+        end = 0
+        for meta in section.blocks:
+            assert meta.offset == end
+            end = meta.offset + meta.size
+        assert end == section.size
+
+    def test_section_bytes_decode(self):
+        compiled = compile_module(_module(_func("a")), CodeGenOptions())
+        section = compiled.obj.section(".text.a")
+        instrs = decode_range(bytes(section.data), 0, section.size)
+        assert instrs[-1].opcode == Opcode.RET
+
+    def test_stats(self):
+        compiled = compile_module(_module(_func("a"), _func("b")), CodeGenOptions())
+        assert compiled.num_functions == 2
+        assert compiled.num_blocks == 8
+        assert compiled.num_instrs > 8
+        assert compiled.text_bytes == sum(
+            s.size for s in compiled.obj.sections_of_kind(SectionKind.TEXT)
+        )
+
+
+class TestTerminatorLowering:
+    def test_condbr_fallthrough_next(self):
+        # Layout order 0,1,...: block 0's fallthrough (1) is next, so a
+        # single JCC to the taken side is emitted.
+        compiled = compile_module(_module(_func("a")), CodeGenOptions())
+        meta = compiled.obj.section(".text.a").blocks[0]
+        assert meta.term.kind == TerminatorKind.CONDBR
+        assert meta.term.cond_target == bb_label("a", 2)
+        assert meta.term.cond_prob == pytest.approx(0.2)
+        assert meta.term.uncond_target is None
+
+    def test_condbr_inversion_when_taken_is_next(self):
+        fn = ir.Function(name="a", blocks=[
+            ir.BasicBlock(bb_id=0, term=ir.CondBr(taken=1, fallthrough=2, prob=0.8)),
+            ir.BasicBlock(bb_id=1, term=ir.Ret()),
+            ir.BasicBlock(bb_id=2, term=ir.Ret()),
+        ])
+        compiled = compile_module(_module(fn), CodeGenOptions())
+        meta = compiled.obj.section(".text.a").blocks[0]
+        # Inverted: branch now targets block 2 with probability 0.2.
+        assert meta.term.cond_target == bb_label("a", 2)
+        assert meta.term.cond_prob == pytest.approx(0.2)
+        assert meta.term.uncond_target is None
+
+    def test_condbr_both_arms_far_emits_jcc_plus_jmp(self):
+        fn = ir.Function(name="a", blocks=[
+            ir.BasicBlock(bb_id=0, term=ir.CondBr(taken=2, fallthrough=3, prob=0.5)),
+            ir.BasicBlock(bb_id=1, term=ir.Ret()),
+            ir.BasicBlock(bb_id=2, term=ir.Ret()),
+            ir.BasicBlock(bb_id=3, term=ir.Ret()),
+        ])
+        compiled = compile_module(_module(fn), CodeGenOptions())
+        meta = compiled.obj.section(".text.a").blocks[0]
+        assert meta.term.uncond_target == bb_label("a", 3)
+        assert meta.term.uncond_br_offset >= 0
+
+    def test_jump_to_next_is_fallthrough(self):
+        fn = ir.Function(name="a", blocks=[
+            ir.BasicBlock(bb_id=0, term=ir.Jump(1)),
+            ir.BasicBlock(bb_id=1, term=ir.Ret()),
+        ])
+        compiled = compile_module(_module(fn), CodeGenOptions())
+        meta = compiled.obj.section(".text.a").blocks[0]
+        assert meta.term.kind == TerminatorKind.FALLTHROUGH
+
+    def test_explicit_fallthrough_jump_is_deletable(self):
+        # §4.2: with bb sections, the last block of a section must end
+        # in an explicit (deletable) jump, never an implicit fall-through.
+        fn = _func("a")
+        options = CodeGenOptions(bb_sections=BBSectionsMode.ALL)
+        compiled = compile_module(_module(fn), options)
+        section = compiled.obj.section(".text.a")  # entry block section
+        assert section.blocks[0].term.kind == TerminatorKind.CONDBR
+        assert section.blocks[0].term.uncond_target is not None
+        deletables = [f for f in section.branch_fixups if f.deletable]
+        assert deletables
+
+    def test_switch_emits_rodata_jump_table(self):
+        fn = ir.Function(name="a", blocks=[
+            ir.BasicBlock(bb_id=0, term=ir.Switch(targets=(1, 2), probs=(0.5, 0.5))),
+            ir.BasicBlock(bb_id=1, term=ir.Ret()),
+            ir.BasicBlock(bb_id=2, term=ir.Ret()),
+        ])
+        compiled = compile_module(_module(fn), CodeGenOptions())
+        rodata = compiled.obj.find_section(".rodata.a")
+        assert rodata is not None
+        assert rodata.size == 8  # two 4-byte entries
+        assert len(rodata.relocations) == 2
+
+    def test_hand_written_embeds_jump_table_in_text(self):
+        fn = ir.Function(name="a", blocks=[
+            ir.BasicBlock(bb_id=0, term=ir.Switch(targets=(1, 2), probs=(0.5, 0.5))),
+            ir.BasicBlock(bb_id=1, term=ir.Ret()),
+            ir.BasicBlock(bb_id=2, term=ir.Ret()),
+        ])
+        fn.hand_written = True
+        compiled = compile_module(_module(fn), CodeGenOptions())
+        assert compiled.obj.find_section(".rodata.a") is None
+        text = compiled.obj.section(".text.a")
+        abs_relocs = [r for r in text.relocations if r.rtype.value == "abs32"]
+        assert len(abs_relocs) == 2  # data in code!
+
+    def test_unreachable_lowers_to_trap(self):
+        fn = ir.Function(name="a", blocks=[ir.BasicBlock(bb_id=0, term=ir.Unreachable())])
+        compiled = compile_module(_module(fn), CodeGenOptions())
+        assert compiled.obj.section(".text.a").blocks[0].term.kind == TerminatorKind.TRAP
+
+
+class TestClusters:
+    def _cluster_options(self, clusters):
+        return CodeGenOptions(bb_sections=BBSectionsMode.LIST, clusters=clusters)
+
+    def test_cluster_sections_and_symbols(self):
+        options = self._cluster_options({"a": [[0, 2], [1]]})
+        compiled = compile_module(_module(_func("a")), options)
+        names = {s.name for s in compiled.obj.sections_of_kind(SectionKind.TEXT)}
+        assert names == {".text.a", ".text.a.1", ".text.a.cold"}
+        symbols = {s.name for s in compiled.obj.symbols if not s.name.startswith(".L")}
+        assert {"a", "a.1", "a.cold"} <= symbols
+
+    def test_cluster_block_assignment(self):
+        options = self._cluster_options({"a": [[0, 2], [1]]})
+        compiled = compile_module(_module(_func("a")), options)
+        assert [b.bb_id for b in compiled.obj.section(".text.a").blocks] == [0, 2]
+        assert [b.bb_id for b in compiled.obj.section(".text.a.1").blocks] == [1]
+        assert [b.bb_id for b in compiled.obj.section(".text.a.cold").blocks] == [3]
+
+    def test_cluster_must_start_with_entry(self):
+        options = self._cluster_options({"a": [[1, 0]]})
+        with pytest.raises(ValueError, match="entry"):
+            compile_module(_module(_func("a")), options)
+
+    def test_duplicate_block_in_clusters_rejected(self):
+        options = self._cluster_options({"a": [[0, 1], [1]]})
+        with pytest.raises(ValueError, match="multiple"):
+            compile_module(_module(_func("a")), options)
+
+    def test_unknown_block_rejected(self):
+        options = self._cluster_options({"a": [[0, 42]]})
+        with pytest.raises(ValueError, match="unknown"):
+            compile_module(_module(_func("a")), options)
+
+    def test_unlisted_function_lowered_normally(self):
+        options = self._cluster_options({"other": [[0]]})
+        compiled = compile_module(_module(_func("a")), options)
+        assert compiled.obj.find_section(".text.a.cold") is None
+
+    def test_cold_cluster_alignment_is_one(self):
+        options = self._cluster_options({"a": [[0, 2]]})
+        compiled = compile_module(_module(_func("a")), options)
+        assert compiled.obj.section(".text.a").alignment == 16
+        assert compiled.obj.section(".text.a.cold").alignment == 1
+
+
+class TestMetadata:
+    def test_bb_addr_map_roundtrip(self):
+        compiled = compile_module(_module(_func("a")), CodeGenOptions(bb_addr_map=True))
+        section = compiled.obj.find_section(".llvm_bb_addr_map.a")
+        assert section is not None
+        assert section.link_name == ".text.a"
+        maps = bbaddrmap.decode_section(bytes(section.data))
+        assert maps[0].func == "a"
+        text = compiled.obj.section(".text.a")
+        assert [e.bb_id for e in maps[0].entries] == [b.bb_id for b in text.blocks]
+        assert [e.offset for e in maps[0].entries] == [b.offset for b in text.blocks]
+
+    def test_bb_addr_map_flags(self):
+        compiled = compile_module(_module(_func("a", lp=True)),
+                                  CodeGenOptions(bb_addr_map=True))
+        maps = bbaddrmap.decode_section(
+            bytes(compiled.obj.section(".llvm_bb_addr_map.a").data)
+        )
+        by_id = {e.bb_id: e for e in maps[0].entries}
+        assert by_id[4].is_landing_pad
+        assert by_id[3].flags & bbaddrmap.FLAG_HAS_RETURN
+
+    def test_no_map_without_option(self):
+        compiled = compile_module(_module(_func("a")), CodeGenOptions())
+        assert compiled.obj.find_section(".llvm_bb_addr_map.a") is None
+
+    def test_eh_frame_grows_with_fragments(self):
+        base = compile_module(_module(_func("a")), CodeGenOptions())
+        split = compile_module(
+            _module(_func("a")),
+            CodeGenOptions(bb_sections=BBSectionsMode.LIST, clusters={"a": [[0, 1], [2]]}),
+        )
+        assert split.obj.section(".eh_frame").size > base.obj.section(".eh_frame").size
+
+    def test_except_table_emitted_for_landing_pads(self):
+        compiled = compile_module(_module(_func("a", lp=True)), CodeGenOptions())
+        assert compiled.obj.find_section(".gcc_except_table.a") is not None
+
+    def test_landing_pad_section_starts_with_nop(self):
+        # §4.5: a landing pad at offset 0 of its section is ambiguous;
+        # a nop is inserted.
+        options = CodeGenOptions(bb_sections=BBSectionsMode.LIST,
+                                 clusters={"a": [[0, 1, 2, 3]]})
+        compiled = compile_module(_module(_func("a", lp=True)), options)
+        cold = compiled.obj.section(".text.a.cold")  # holds the landing pad
+        assert cold.blocks[0].is_landing_pad
+        assert cold.blocks[0].offset == 1
+        assert cold.data[0] == Opcode.NOP
+
+
+class TestPGOOrder:
+    def _profile(self, edges, counts):
+        class P:
+            def edge_counts(self, fn):
+                return edges
+
+            def block_counts(self, fn):
+                return counts
+
+        return P()
+
+    def test_hot_chain_followed(self):
+        fn = _func("a")
+        profile = self._profile({(0, 2): 100.0, (2, 3): 100.0}, {0: 100, 2: 100, 3: 100})
+        order = _pgo_block_order(fn, profile)
+        assert order[:3] == [0, 2, 3]
+
+    def test_cold_blocks_sink(self):
+        fn = _func("a")
+        profile = self._profile({(0, 1): 50.0, (1, 3): 50.0}, {0: 50, 1: 50, 3: 50})
+        order = _pgo_block_order(fn, profile)
+        assert order[-1] == 2  # never-executed block last
+
+    def test_unprofiled_function_keeps_source_order(self):
+        fn = _func("a")
+        profile = self._profile({}, {})
+        assert _pgo_block_order(fn, profile) == [0, 1, 2, 3]
+
+    def test_order_is_permutation(self):
+        fn = _func("a", lp=True)
+        profile = self._profile({(0, 1): 5.0}, {0: 5, 1: 5})
+        order = _pgo_block_order(fn, profile)
+        assert sorted(order) == [0, 1, 2, 3, 4]

@@ -1,0 +1,139 @@
+"""Unit tests for sections, symbols, object files and executables."""
+
+import pytest
+
+from repro.elf import (
+    Executable,
+    ObjectFile,
+    PlacedSection,
+    Relocation,
+    RelocType,
+    Section,
+    SectionKind,
+    Symbol,
+    SymbolBinding,
+    SymbolInfo,
+    SymbolType,
+)
+
+
+def _text_section(name=".text.f", data=b"\x90" * 8, align=16):
+    return Section(name=name, kind=SectionKind.TEXT, data=bytearray(data), alignment=align)
+
+
+class TestSection:
+    def test_size_tracks_data(self):
+        s = _text_section(data=b"\x90" * 5)
+        assert s.size == 5
+
+    def test_data_coerced_to_bytearray(self):
+        s = Section(name="x", kind=SectionKind.DATA, data=b"abc")
+        assert isinstance(s.data, bytearray)
+
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            Section(name="x", kind=SectionKind.TEXT, alignment=3)
+
+    def test_reloc_field_size(self):
+        assert Relocation(0, RelocType.PC8, "a").field_size == 1
+        assert Relocation(0, RelocType.PC32, "a").field_size == 4
+        assert Relocation(0, RelocType.ABS32, "a").field_size == 4
+
+
+class TestObjectFile:
+    def test_duplicate_section_rejected(self):
+        obj = ObjectFile(name="a.o", sections=[_text_section()])
+        with pytest.raises(ValueError):
+            obj.add_section(_text_section())
+
+    def test_section_lookup(self):
+        obj = ObjectFile(name="a.o", sections=[_text_section()])
+        assert obj.section(".text.f").name == ".text.f"
+        assert obj.find_section("missing") is None
+
+    def test_sizes_by_kind(self):
+        obj = ObjectFile(name="a.o")
+        obj.add_section(_text_section(data=b"\x90" * 10))
+        obj.add_section(Section(name=".eh_frame", kind=SectionKind.EH_FRAME, data=bytearray(24)))
+        assert obj.size_of_kind(SectionKind.TEXT) == 10
+        assert obj.size_of_kind(SectionKind.EH_FRAME) == 24
+        assert obj.total_size == 34
+
+    def test_digest_stable(self):
+        def make():
+            obj = ObjectFile(name="a.o", sections=[_text_section()])
+            obj.add_symbol(Symbol(name="f", section=".text.f", offset=0, size=8,
+                                  binding=SymbolBinding.GLOBAL, stype=SymbolType.FUNC))
+            return obj
+
+        assert make().content_digest() == make().content_digest()
+
+    def test_digest_changes_with_data(self):
+        a = ObjectFile(name="a.o", sections=[_text_section(data=b"\x90" * 8)])
+        b = ObjectFile(name="a.o", sections=[_text_section(data=b"\x90" * 7 + b"\xc3")])
+        assert a.content_digest() != b.content_digest()
+
+    def test_digest_changes_with_relocation(self):
+        s1 = _text_section()
+        s2 = _text_section()
+        s2.relocations.append(Relocation(offset=1, rtype=RelocType.PC32, symbol="g"))
+        a = ObjectFile(name="a.o", sections=[s1])
+        b = ObjectFile(name="a.o", sections=[s2])
+        assert a.content_digest() != b.content_digest()
+
+    def test_digest_changes_with_symbol(self):
+        a = ObjectFile(name="a.o", sections=[_text_section()])
+        b = ObjectFile(name="a.o", sections=[_text_section()])
+        b.add_symbol(Symbol(name="f", section=".text.f", offset=0))
+        assert a.content_digest() != b.content_digest()
+
+
+def _exe_with_sections():
+    sections = [
+        PlacedSection(name=".text.a", kind=SectionKind.TEXT, vaddr=0x400000, data=b"\x90" * 32),
+        PlacedSection(name=".text.b", kind=SectionKind.TEXT, vaddr=0x400040, data=b"\x90" * 16),
+        PlacedSection(name=".eh_frame", kind=SectionKind.EH_FRAME, vaddr=0x500000, data=b"\x00" * 24),
+        PlacedSection(name=".llvm_bb_addr_map.a", kind=SectionKind.BB_ADDR_MAP,
+                      vaddr=0x501000, data=b"\x01" * 10),
+    ]
+    symbols = {
+        "a": SymbolInfo(name="a", addr=0x400000, size=32, stype=SymbolType.FUNC),
+        "b": SymbolInfo(name="b", addr=0x400040, size=16, stype=SymbolType.FUNC),
+        "datum": SymbolInfo(name="datum", addr=0x500000, size=8, stype=SymbolType.OBJECT),
+    }
+    return Executable(name="t", entry=0x400000, sections=sections, symbols=symbols)
+
+
+class TestExecutable:
+    def test_text_image_fills_gaps_with_traps(self):
+        exe = _exe_with_sections()
+        base, image = exe.text_image()
+        assert base == 0x400000
+        assert len(image) == 0x50
+        assert image[0x20:0x40] == b"\xcc" * 32  # alignment gap
+
+    def test_text_ranges_merges_contiguous(self):
+        exe = _exe_with_sections()
+        ranges = exe.text_ranges()
+        assert ranges == [(0x400000, 0x400020), (0x400040, 0x400050)]
+
+    def test_section_sizes_breakdown(self):
+        exe = _exe_with_sections()
+        sizes = exe.section_sizes()
+        assert sizes["text"] == 48
+        assert sizes["eh_frame"] == 24
+        assert sizes["bb_addr_map"] == 10
+        assert sizes["other"] > 0  # symtab model
+
+    def test_function_symbols_sorted(self):
+        exe = _exe_with_sections()
+        funcs = exe.function_symbols()
+        assert [f.name for f in funcs] == ["a", "b"]
+
+    def test_section_bytes_by_kind(self):
+        exe = _exe_with_sections()
+        assert exe.section_bytes(SectionKind.BB_ADDR_MAP) == b"\x01" * 10
+
+    def test_total_size_counts_symtab(self):
+        exe = _exe_with_sections()
+        assert exe.total_size > 48 + 24 + 10

@@ -1,0 +1,180 @@
+"""Tests for the Ext-TSP layout algorithm."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exttsp import (
+    DEFAULT_PARAMS,
+    ExtTSP,
+    LayoutParams,
+    edge_score,
+    ext_tsp_order,
+    ext_tsp_score,
+)
+
+
+class TestEdgeScore:
+    def test_fallthrough_full_credit(self):
+        assert edge_score(10.0, 100, 100, DEFAULT_PARAMS) == pytest.approx(10.0)
+
+    def test_forward_jump_decays(self):
+        near = edge_score(10.0, 100, 164, DEFAULT_PARAMS)
+        far = edge_score(10.0, 100, 1000, DEFAULT_PARAMS)
+        assert 0 < far < near < 10.0 * DEFAULT_PARAMS.forward_weight
+
+    def test_forward_out_of_window_zero(self):
+        assert edge_score(10.0, 0, 2000, DEFAULT_PARAMS) == 0.0
+
+    def test_backward_jump_decays(self):
+        near = edge_score(10.0, 200, 150, DEFAULT_PARAMS)
+        far = edge_score(10.0, 800, 200, DEFAULT_PARAMS)
+        assert 0 < far < near
+
+    def test_backward_out_of_window_zero(self):
+        assert edge_score(10.0, 1000, 0, DEFAULT_PARAMS) == 0.0
+
+    def test_zero_weight(self):
+        assert edge_score(0.0, 0, 0, DEFAULT_PARAMS) == 0.0
+
+
+class TestScore:
+    def test_chain_score(self):
+        sizes = {0: 10, 1: 10}
+        assert ext_tsp_score([0, 1], sizes, [(0, 1, 5.0)]) == pytest.approx(5.0)
+        # Backward distance: end of node 0 (offset 10 + size 10) to start
+        # of node 1 (offset 0) = 20 bytes.
+        assert ext_tsp_score([1, 0], sizes, [(0, 1, 5.0)]) == pytest.approx(
+            5.0 * DEFAULT_PARAMS.backward_weight * (1 - 20 / DEFAULT_PARAMS.backward_window)
+        )
+
+    def test_missing_nodes_ignored(self):
+        assert ext_tsp_score([0], {0: 10}, [(0, 9, 5.0)]) == 0.0
+
+
+class TestSolver:
+    def test_linear_chain_recovered(self):
+        nodes = {i: (30, 1.0) for i in range(12)}
+        edges = [(i, i + 1, 100.0) for i in range(11)]
+        assert ext_tsp_order(nodes, edges, entry=0) == list(range(12))
+
+    def test_skewed_diamond(self):
+        nodes = {i: (30, 1.0) for i in range(4)}
+        edges = [(0, 1, 90.0), (0, 2, 10.0), (1, 3, 90.0), (2, 3, 10.0)]
+        order = ext_tsp_order(nodes, edges, entry=0)
+        assert order.index(1) == order.index(0) + 1
+        assert order.index(3) == order.index(1) + 1
+
+    def test_entry_pinned_first(self):
+        nodes = {i: (30, float(i)) for i in range(6)}
+        edges = [(i, (i + 1) % 6, 50.0) for i in range(6)]
+        order = ext_tsp_order(nodes, edges, entry=3)
+        assert order[0] == 3
+
+    def test_entry_must_exist(self):
+        with pytest.raises(ValueError):
+            ExtTSP({0: (10, 1.0)}, [], entry=99)
+
+    def test_all_nodes_exactly_once(self):
+        rng = random.Random(0)
+        nodes = {i: (rng.randint(5, 50), rng.random()) for i in range(30)}
+        edges = [
+            (rng.randrange(30), rng.randrange(30), rng.random() * 100) for _ in range(80)
+        ]
+        order = ext_tsp_order(nodes, edges, entry=0)
+        assert sorted(order) == list(range(30))
+
+    def test_improves_over_source_order(self):
+        rng = random.Random(7)
+        n = 40
+        nodes = {i: (rng.randint(10, 60), 1.0) for i in range(n)}
+        edges = [
+            (rng.randrange(n), rng.randrange(n), rng.random() * 100) for _ in range(120)
+        ]
+        edges = [(s, d, w) for s, d, w in edges if s != d]
+        sizes = {k: v[0] for k, v in nodes.items()}
+        order = ext_tsp_order(nodes, edges, entry=0)
+        assert ext_tsp_score(order, sizes, edges) > ext_tsp_score(
+            list(range(n)), sizes, edges
+        )
+
+    def test_deterministic(self):
+        rng = random.Random(3)
+        nodes = {i: (rng.randint(5, 50), rng.random()) for i in range(25)}
+        edges = [
+            (rng.randrange(25), rng.randrange(25), rng.random() * 10) for _ in range(60)
+        ]
+        assert ext_tsp_order(nodes, edges, entry=0) == ext_tsp_order(nodes, edges, entry=0)
+
+    def test_disconnected_components_ordered_by_density(self):
+        # Component A (hot, small) should precede component B (cold, big).
+        nodes = {0: (10, 0.0), 1: (10, 500.0), 2: (10, 500.0), 3: (100, 1.0), 4: (100, 1.0)}
+        edges = [(1, 2, 500.0), (3, 4, 1.0)]
+        order = ext_tsp_order(nodes, edges, entry=0)
+        assert order[0] == 0
+        assert order.index(1) < order.index(3)
+
+    def test_empty_graph(self):
+        assert ext_tsp_order({}, []) == []
+
+    def test_single_node(self):
+        assert ext_tsp_order({7: (10, 1.0)}, [], entry=7) == [7]
+
+    def test_self_edges_ignored(self):
+        nodes = {0: (10, 1.0), 1: (10, 1.0)}
+        order = ext_tsp_order(nodes, [(0, 0, 100.0), (0, 1, 1.0)], entry=0)
+        assert order == [0, 1]
+
+    def test_duplicate_edges_aggregated(self):
+        nodes = {i: (30, 1.0) for i in range(3)}
+        edges = [(0, 2, 30.0), (0, 2, 30.0), (0, 1, 50.0)]
+        order = ext_tsp_order(nodes, edges, entry=0)
+        # Combined 0->2 weight (60) beats 0->1 (50) for the fallthrough slot.
+        assert order[1] == 2
+
+    def test_loop_rotation_profitable(self):
+        # 0 -> 1 -> 2 -> 1 (hot loop), 1 -> 3 exit.
+        nodes = {i: (20, 1.0) for i in range(4)}
+        edges = [(0, 1, 1.0), (1, 2, 99.0), (2, 1, 98.0), (1, 3, 1.0)]
+        order = ext_tsp_order(nodes, edges, entry=0)
+        # Loop body blocks must be adjacent one way or the other.
+        assert abs(order.index(1) - order.index(2)) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_graphs_valid_permutation(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=20))
+        nodes = {
+            i: (data.draw(st.integers(min_value=1, max_value=100)), 1.0) for i in range(n)
+        }
+        num_edges = data.draw(st.integers(min_value=0, max_value=40))
+        edges = [
+            (
+                data.draw(st.integers(min_value=0, max_value=n - 1)),
+                data.draw(st.integers(min_value=0, max_value=n - 1)),
+                data.draw(st.floats(min_value=0.0, max_value=1000.0)),
+            )
+            for _ in range(num_edges)
+        ]
+        order = ext_tsp_order(nodes, edges, entry=0)
+        assert sorted(order) == list(range(n))
+        assert order[0] == 0
+
+    def test_split_merge_inserts_hot_loop(self):
+        """A hot pair far from the entry chain is spliced inside it."""
+        # Entry chain 0..9 with moderate weights; hot loop (10, 11)
+        # connected to node 4.
+        nodes = {i: (20, 1.0) for i in range(12)}
+        edges = [(i, i + 1, 10.0) for i in range(9)]
+        edges += [(4, 10, 500.0), (10, 11, 500.0), (11, 5, 500.0)]
+        order = ext_tsp_order(nodes, edges, entry=0)
+        assert order.index(10) == order.index(4) + 1
+        assert order.index(11) == order.index(10) + 1
+
+
+class TestParams:
+    def test_custom_windows(self):
+        params = LayoutParams(forward_window=64, backward_window=32)
+        assert edge_score(10.0, 0, 63, params) > 0
+        assert edge_score(10.0, 0, 65, params) == 0

@@ -1,0 +1,127 @@
+"""Tests for the four-phase Propeller pipeline."""
+
+import pytest
+
+from repro.buildsys import BuildSystem, ResourceLimitExceeded
+from repro.core.pipeline import PipelineConfig, PropellerPipeline, optimize
+from repro.elf import SectionKind
+from repro.synth import PRESETS, generate_workload
+
+
+class TestRun:
+    def test_binaries_produced(self, pipeline_result):
+        res = pipeline_result
+        assert res.baseline.executable.text_size > 0
+        assert res.metadata.executable.text_size > 0
+        assert res.optimized.executable.text_size > 0
+
+    def test_metadata_binary_carries_map_po_does_not(self, pipeline_result):
+        res = pipeline_result
+        assert res.metadata.executable.section_sizes()["bb_addr_map"] > 0
+        assert res.optimized.executable.section_sizes()["bb_addr_map"] == 0
+        assert res.baseline.executable.section_sizes()["bb_addr_map"] == 0
+
+    def test_metadata_overhead_in_paper_band(self, pipeline_result):
+        """§3.2: metadata binaries are 7-9% larger than baseline."""
+        res = pipeline_result
+        ratio = res.metadata.executable.total_size / res.baseline.executable.total_size
+        assert 1.04 < ratio < 1.15
+
+    def test_optimized_size_overhead_small(self, pipeline_result):
+        """§5.3: Propeller-optimized binaries are ~1% larger on average."""
+        res = pipeline_result
+        ratio = res.optimized.executable.total_size / res.baseline.executable.total_size
+        assert ratio < 1.05
+
+    def test_cold_objects_replayed_from_cache(self, pipeline_result):
+        res = pipeline_result
+        cold_modules = len(res.program.modules) - res.optimized.hot_modules
+        assert res.optimized.cold_cache_hits == cold_modules
+        assert res.optimized.hot_modules > 0
+
+    def test_phase_times_recorded(self, pipeline_result):
+        times = pipeline_result.phase_seconds
+        for key in ("opt_build", "metadata_build", "lbr_profile_run",
+                    "wpa_convert", "prop_backends", "prop_link"):
+            assert times[key] > 0, key
+
+    def test_hot_function_layout_changed(self, pipeline_result):
+        res = pipeline_result
+        fn = res.wpa_result.hot_functions[0]
+        base_blocks = sorted(
+            (b.addr, b.bb_id) for b in res.baseline.executable.exec_blocks if b.func == fn
+        )
+        opt_blocks = sorted(
+            (b.addr, b.bb_id) for b in res.optimized.executable.exec_blocks if b.func == fn
+        )
+        assert len(base_blocks) == len(opt_blocks)
+
+    def test_exec_model_invariants_all_binaries(self, pipeline_result):
+        res = pipeline_result
+        for exe in (res.baseline.executable, res.metadata.executable,
+                    res.optimized.executable):
+            addrs = {b.addr for b in exe.exec_blocks}
+            for block in exe.exec_blocks:
+                term = block.term
+                if term.kind == "condbr":
+                    assert term.cond_target in addrs
+                    if term.uncond_target is None:
+                        assert block.addr + block.size in addrs
+                elif term.kind == "jump":
+                    assert term.uncond_target in addrs
+                elif term.kind == "fallthrough":
+                    assert block.addr + block.size in addrs
+
+    def test_summary_renders(self, pipeline_result):
+        text = pipeline_result.summary()
+        assert "propeller phase 4" in text
+        assert "cold objects from cache" in text
+
+    def test_pct_hot_objects(self, pipeline_result):
+        assert 0 < pipeline_result.pct_hot_objects <= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_binaries(self, small_program, pipeline_config):
+        a = PropellerPipeline(small_program, pipeline_config).run()
+        b = PropellerPipeline(small_program, pipeline_config).run()
+        assert a.optimized.executable.section_sizes() == b.optimized.executable.section_sizes()
+        assert a.wpa_result.symbol_order == b.wpa_result.symbol_order
+
+
+class TestBoltInput:
+    def test_bolt_metadata_has_relocations(self, small_program, pipeline_config):
+        pipe = PropellerPipeline(small_program, pipeline_config)
+        res = pipe.run()
+        bm = pipe.build_bolt_input(res.ir_profile)
+        assert bm.executable.retained_relocations
+        # Codegen actions replay from the Phase 2 cache.
+        assert all(r == len(small_program.modules) for r in [len(bm.objects)])
+
+    def test_bm_size_overhead_band(self, small_program, pipeline_config):
+        """§5.3: BOLT metadata binaries are 20-60% larger than baseline."""
+        pipe = PropellerPipeline(small_program, pipeline_config)
+        res = pipe.run()
+        bm = pipe.build_bolt_input(res.ir_profile)
+        ratio = bm.executable.total_size / res.baseline.executable.total_size
+        assert 1.15 < ratio < 1.7
+
+
+class TestResourceEnforcement:
+    def test_ram_limit_blocks_oversized_actions(self, tiny_program):
+        config = PipelineConfig(
+            lbr_branches=5_000, pgo_steps=5_000, enforce_ram=True, ram_limit=64
+        )
+        with pytest.raises(ResourceLimitExceeded):
+            PropellerPipeline(tiny_program, config).run()
+
+
+class TestOptimizeAPI:
+    def test_one_call(self, tiny_program):
+        result = optimize(
+            tiny_program,
+            PipelineConfig(lbr_branches=30_000, pgo_steps=20_000, enforce_ram=False),
+            seed=5,
+        )
+        assert result.config.seed == 5
+        assert result.optimized.executable.name == "propeller.out"

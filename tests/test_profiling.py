@@ -1,0 +1,162 @@
+"""Tests for trace generation, LBR sampling and PGO profiles."""
+
+import pytest
+
+from repro.codegen import BBSectionsMode, CodeGenOptions, compile_program
+from repro.linker import LinkOptions, link
+from repro.profiling import (
+    IRProfile,
+    collect_ir_profile,
+    generate_trace,
+    sample_lbr,
+)
+from repro.profiling.lbr import LBR_DEPTH
+from repro.synth import PRESETS, generate_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_workload(PRESETS["531.deepsjeng"], scale=0.5, seed=5)
+
+
+@pytest.fixture(scope="module")
+def exe(program):
+    objs = compile_program(program, CodeGenOptions(bb_addr_map=True))
+    return link([c.obj for c in objs]).executable
+
+
+@pytest.fixture(scope="module")
+def exe_allsections(program):
+    objs = compile_program(program, CodeGenOptions(bb_sections=BBSectionsMode.ALL))
+    return link([c.obj for c in objs]).executable
+
+
+class TestTraceGeneration:
+    def test_branch_budget(self, exe):
+        trace = generate_trace(exe, max_branches=5000, seed=1)
+        assert trace.num_branches == 5000
+
+    def test_block_budget(self, exe):
+        trace = generate_trace(exe, max_blocks=5000, seed=1)
+        assert trace.num_blocks_executed == 5000
+        assert len(trace.block_addrs) == 5000
+
+    def test_deterministic(self, exe):
+        a = generate_trace(exe, max_branches=2000, seed=3)
+        b = generate_trace(exe, max_branches=2000, seed=3)
+        assert a.block_addrs == b.block_addrs
+        assert a.branch_src == b.branch_src
+
+    def test_seed_matters(self, exe):
+        a = generate_trace(exe, max_branches=2000, seed=3)
+        b = generate_trace(exe, max_branches=2000, seed=4)
+        assert a.block_addrs != b.block_addrs
+
+    def test_record_blocks_off(self, exe):
+        trace = generate_trace(exe, max_blocks=3000, seed=1, record_blocks=False)
+        assert trace.block_addrs == []
+        assert trace.num_blocks_executed == 3000
+
+    def test_all_addresses_are_blocks(self, exe):
+        trace = generate_trace(exe, max_branches=3000, seed=2)
+        for addr in trace.block_addrs:
+            assert exe.has_block_at(addr)
+        for dst in trace.branch_dst:
+            # Branch destinations are block starts or mid-block return points.
+            pass  # structural check: sources must be within text
+        lo, hi = exe.text_ranges()[0][0], exe.text_ranges()[-1][1]
+        assert all(lo <= s < hi for s in trace.branch_src)
+
+    def test_layout_invariance(self, program, exe, exe_allsections):
+        """The same (function, block) sequence executes regardless of layout."""
+        t1 = generate_trace(exe, max_blocks=4000, seed=9)
+        t2 = generate_trace(exe_allsections, max_blocks=4000, seed=9)
+        m1 = {b.addr: (b.func, b.bb_id) for b in exe.exec_blocks}
+        m2 = {b.addr: (b.func, b.bb_id) for b in exe_allsections.exec_blocks}
+        assert [m1[a] for a in t1.block_addrs] == [m2[a] for a in t2.block_addrs]
+
+    def test_addresses_vary_with_layout(self, exe, exe_allsections):
+        t1 = generate_trace(exe, max_blocks=4000, seed=9)
+        t2 = generate_trace(exe_allsections, max_blocks=4000, seed=9)
+        # Same work at different addresses; branch counts are free to differ.
+        assert t1.block_addrs != t2.block_addrs
+
+    def test_taken_branch_count_alias(self, exe):
+        trace = generate_trace(exe, max_branches=100, seed=0)
+        assert trace.taken_branch_count() == trace.num_branches
+
+
+class TestLBR:
+    def test_sample_count(self, exe):
+        trace = generate_trace(exe, max_branches=10_000, seed=1, record_blocks=False)
+        perf = sample_lbr(trace, period=100)
+        assert perf.num_samples == 100
+
+    def test_records_capped_at_depth(self, exe):
+        trace = generate_trace(exe, max_branches=5000, seed=1, record_blocks=False)
+        perf = sample_lbr(trace, period=97)
+        assert all(len(s.records) <= LBR_DEPTH for s in perf.samples)
+        assert perf.samples[-1].records  # non-empty
+
+    def test_records_match_trace(self, exe):
+        trace = generate_trace(exe, max_branches=500, seed=1, record_blocks=False)
+        perf = sample_lbr(trace, period=100)
+        sample = perf.samples[0]
+        lo = 100 - len(sample.records)
+        assert list(sample.records) == list(zip(trace.branch_src[lo:100],
+                                                trace.branch_dst[lo:100]))
+
+    def test_size_accounting(self, exe):
+        trace = generate_trace(exe, max_branches=5000, seed=1, record_blocks=False)
+        perf = sample_lbr(trace, period=50)
+        assert perf.size_bytes > perf.num_records * 16
+
+    def test_invalid_period(self, exe):
+        trace = generate_trace(exe, max_branches=100, seed=1, record_blocks=False)
+        with pytest.raises(ValueError):
+            sample_lbr(trace, period=0)
+
+
+class TestIRProfile:
+    def test_counts_collected(self, program):
+        profile = collect_ir_profile(program, max_steps=30_000, seed=2)
+        assert profile.function_count("main") > 0
+        hot = profile.hot_functions()
+        assert hot[0] == "main" or profile.call_counts[hot[0]] > 0
+        assert any(profile.edge_counts(f) for f in hot)
+
+    def test_deterministic(self, program):
+        a = collect_ir_profile(program, max_steps=10_000, seed=2)
+        b = collect_ir_profile(program, max_steps=10_000, seed=2)
+        assert a.call_counts == b.call_counts
+
+    def test_edges_reference_real_blocks(self, program):
+        profile = collect_ir_profile(program, max_steps=20_000, seed=2)
+        for fname, edges in profile.edges.items():
+            fn = program.function(fname)
+            for (src, dst) in edges:
+                assert fn.has_block(src)
+                assert fn.has_block(dst)
+
+    def test_drift_zero_is_identity(self, program):
+        profile = collect_ir_profile(program, max_steps=5_000, seed=2)
+        assert profile.apply_drift(0.0) is profile
+
+    def test_drift_perturbs_and_drops(self, program):
+        profile = collect_ir_profile(program, max_steps=20_000, seed=2)
+        drifted = collect_ir_profile(program, max_steps=20_000, seed=2).apply_drift(
+            0.5, seed=1
+        )
+        zeroed = sum(
+            1
+            for fname, edges in drifted.edges.items()
+            for count in edges.values()
+            if count == 0.0
+        )
+        total = sum(len(e) for e in drifted.edges.values())
+        assert 0.2 < zeroed / total < 0.8  # dropout ~ drift probability
+        assert profile.edges != drifted.edges
+
+    def test_drift_deterministic(self, program):
+        profile = collect_ir_profile(program, max_steps=5_000, seed=2)
+        assert profile.apply_drift(0.3, seed=7).edges == profile.apply_drift(0.3, seed=7).edges

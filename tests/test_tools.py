@@ -1,0 +1,140 @@
+"""Tests for file formats and the CLI."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import verify_program
+from repro.ir.digest import module_digest
+from repro.profiling import LBRSample, PerfData
+from repro.synth import PRESETS, generate_workload
+from repro.tools import (
+    load_perf_data,
+    load_program,
+    program_from_json,
+    program_to_json,
+    save_perf_data,
+    save_program,
+)
+from repro.tools.cli import main
+
+
+class TestProgramJSON:
+    def test_roundtrip_preserves_digests(self, small_program):
+        rebuilt = program_from_json(program_to_json(small_program))
+        verify_program(rebuilt)
+        assert rebuilt.name == small_program.name
+        assert rebuilt.entry_function == small_program.entry_function
+        assert rebuilt.features == small_program.features
+        for a, b in zip(small_program.modules, rebuilt.modules):
+            assert module_digest(a) == module_digest(b)
+
+    def test_file_roundtrip(self, tmp_path, tiny_program):
+        path = tmp_path / "prog.json"
+        save_program(tiny_program, path)
+        rebuilt = load_program(path)
+        assert rebuilt.num_blocks == tiny_program.num_blocks
+
+    def test_json_is_plain_data(self, tiny_program):
+        json.dumps(program_to_json(tiny_program))  # must not raise
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro program"):
+            program_from_json({"format": "other"})
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            program_from_json({"format": "repro-program", "version": 99})
+
+
+class TestPerfFormat:
+    def _perf(self, samples):
+        return PerfData(
+            samples=[LBRSample(records=tuple(s)) for s in samples], period=31
+        )
+
+    def test_roundtrip(self, tmp_path):
+        perf = self._perf([[(0x400000, 0x400010)], [(0x400020, 0x400000), (1, 2)]])
+        path = tmp_path / "p.lbr"
+        save_perf_data(perf, path)
+        loaded = load_perf_data(path)
+        assert loaded.period == 31
+        assert [s.records for s in loaded.samples] == [s.records for s in perf.samples]
+
+    def test_empty_profile(self, tmp_path):
+        path = tmp_path / "e.lbr"
+        save_perf_data(self._perf([]), path)
+        assert load_perf_data(path).num_samples == 0
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.lbr"
+        path.write_bytes(b"NOPE" + b"\x00" * 10)
+        with pytest.raises(ValueError, match="magic"):
+            load_perf_data(path)
+
+    def test_trailing_bytes_rejected(self, tmp_path):
+        perf = self._perf([[(1, 2)]])
+        path = tmp_path / "t.lbr"
+        save_perf_data(perf, path)
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(ValueError, match="trailing"):
+            load_perf_data(path)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(min_value=0, max_value=2**63),
+                          st.integers(min_value=0, max_value=2**63)),
+                max_size=32,
+            ),
+            max_size=10,
+        )
+    )
+    def test_roundtrip_property(self, samples):
+        import tempfile
+        from pathlib import Path
+
+        perf = self._perf(samples)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.lbr"
+            save_perf_data(perf, path)
+            loaded = load_perf_data(path)
+        assert [list(s.records) for s in loaded.samples] == [list(s) for s in samples]
+
+
+class TestCLI:
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "clang" in out and "505.mcf" in out
+
+    def test_generate_unknown_preset(self, tmp_path, capsys):
+        assert main(["generate", "--preset", "nope", "-o", str(tmp_path / "x.json")]) == 2
+
+    def test_generate_and_optimize(self, tmp_path, capsys):
+        prog = tmp_path / "p.json"
+        assert main(["generate", "--preset", "531.deepsjeng", "--scale", "0.3",
+                     "--seed", "7", "-o", str(prog)]) == 0
+        report = tmp_path / "report.txt"
+        assert main(["optimize", str(prog), "--report", str(report),
+                     "--lbr-branches", "40000", "--pgo-steps", "20000"]) == 0
+        assert "propeller phase 4" in report.read_text()
+
+    def test_profile_and_wpa(self, tmp_path):
+        prog = tmp_path / "p.json"
+        main(["generate", "--preset", "531.deepsjeng", "--scale", "0.3",
+              "--seed", "7", "-o", str(prog)])
+        lbr = tmp_path / "p.lbr"
+        assert main(["profile", str(prog), "-o", str(lbr),
+                     "--lbr-branches", "40000", "--pgo-steps", "20000"]) == 0
+        cc = tmp_path / "cc.txt"
+        ld = tmp_path / "ld.txt"
+        assert main(["wpa", str(prog), str(lbr), "--cc-prof", str(cc),
+                     "--ld-prof", str(ld), "--pgo-steps", "20000"]) == 0
+        from repro.core.bbsections import parse_cc_prof, parse_ld_prof
+
+        clusters = parse_cc_prof(cc.read_text())
+        assert clusters
+        assert parse_ld_prof(ld.read_text())

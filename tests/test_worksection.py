@@ -1,0 +1,92 @@
+"""Unit tests for WorkSection splicing (the relaxation substrate)."""
+
+from repro.elf import (
+    BlockMeta,
+    BranchFixup,
+    Relocation,
+    RelocType,
+    Section,
+    SectionKind,
+    TerminatorKind,
+    TerminatorMeta,
+)
+from repro.isa import Opcode
+from repro.linker.worksection import WorkSection, WorkSymbol
+
+
+def _section_with_layout():
+    """20 bytes, two blocks [0,10) and [10,20), jump at offset 15."""
+    section = Section(name=".text.f", kind=SectionKind.TEXT, data=bytearray(range(20)))
+    section.relocations.append(Relocation(offset=16, rtype=RelocType.PC32, symbol="x"))
+    section.branch_fixups.append(
+        BranchFixup(offset=15, opcode=Opcode.JMP_LONG, symbol="x", deletable=True)
+    )
+    section.blocks.append(BlockMeta(
+        bb_id=0, func="f", offset=0, size=10,
+        term=TerminatorMeta(kind=TerminatorKind.FALLTHROUGH),
+    ))
+    section.blocks.append(BlockMeta(
+        bb_id=1, func="f", offset=10, size=10,
+        term=TerminatorMeta(kind=TerminatorKind.JUMP, uncond_target="x",
+                            uncond_br_offset=15, uncond_br_size=5),
+    ))
+    ws = WorkSection(section, origin="t.o")
+    ws.symbols.append(WorkSymbol(name="f", offset=0, size=20, binding=None, stype=None))
+    ws.symbols.append(WorkSymbol(name=".Lf.__bb1", offset=10, size=0, binding=None, stype=None))
+    return ws
+
+
+class TestSplice:
+    def test_inputs_not_mutated(self):
+        section = Section(name=".t", kind=SectionKind.TEXT, data=bytearray(b"abcd"))
+        ws = WorkSection(section, origin="o")
+        ws.splice(0, 2, b"")
+        assert bytes(section.data) == b"abcd"
+
+    def test_delete_shifts_following_records(self):
+        ws = _section_with_layout()
+        delta = ws.splice(15, 5, b"")
+        assert delta == -5
+        assert ws.size == 15
+        # The relocation inside the deleted range is dropped.
+        assert not ws.relocations
+        # The containing block shrank; the earlier block is untouched.
+        assert ws.blocks[0].size == 10
+        assert ws.blocks[1].size == 5
+        # Terminator offsets inside the deleted instruction stay put
+        # (callers rewrite them); symbols after the splice shift.
+        assert ws.symbols[1].offset == 10
+
+    def test_delete_in_first_block_shifts_second(self):
+        ws = _section_with_layout()
+        ws.splice(2, 4, b"")
+        assert ws.blocks[0].size == 6
+        assert ws.blocks[1].offset == 6
+        assert ws.blocks[1].term.uncond_br_offset == 11
+        assert ws.relocations[0].offset == 12
+        assert ws.fixups[0].offset == 11
+        assert ws.symbols[1].offset == 6
+
+    def test_replace_keeps_total_accounting(self):
+        ws = _section_with_layout()
+        ws.splice(15, 5, b"\xeb\x00")  # long jump replaced by short form
+        assert ws.size == 17
+        assert ws.blocks[1].size == 7
+        assert bytes(ws.data[15:17]) == b"\xeb\x00"
+
+    def test_out_of_bounds_rejected(self):
+        ws = _section_with_layout()
+        try:
+            ws.splice(18, 5, b"")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_block_containing(self):
+        ws = _section_with_layout()
+        assert ws.block_containing(0).bb_id == 0
+        assert ws.block_containing(9).bb_id == 0
+        assert ws.block_containing(10).bb_id == 1
+        assert ws.block_containing(19).bb_id == 1
+        assert ws.block_containing(25) is None

@@ -1,0 +1,161 @@
+"""Tests for Phase 3: whole-program analysis."""
+
+import pytest
+
+from repro.analysis import MemoryMeter
+from repro.codegen import CodeGenOptions, compile_program
+from repro.core import bbsections
+from repro.core.wpa import WPAOptions, _merge_superblocks, analyze
+from repro.linker import LinkOptions, link
+from repro.profiling import collect_lbr_profile
+from repro.synth import PRESETS, generate_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_workload(PRESETS["531.deepsjeng"], scale=0.6, seed=9)
+
+
+@pytest.fixture(scope="module")
+def metadata_exe(program):
+    objs = compile_program(program, CodeGenOptions(bb_addr_map=True))
+    return link([c.obj for c in objs], LinkOptions(keep_bb_addr_map=True)).executable
+
+
+@pytest.fixture(scope="module")
+def perf(metadata_exe):
+    return collect_lbr_profile(metadata_exe, max_branches=80_000, period=31, seed=4)
+
+
+@pytest.fixture(scope="module")
+def result(metadata_exe, perf):
+    return analyze(metadata_exe, perf)
+
+
+class TestAnalyze:
+    def test_requires_bb_addr_map(self, program, perf):
+        objs = compile_program(program, CodeGenOptions())  # no metadata
+        exe = link([c.obj for c in objs]).executable
+        with pytest.raises(ValueError, match="address map"):
+            analyze(exe, perf)
+
+    def test_hot_functions_detected(self, result):
+        assert result.hot_functions
+        assert "main" in result.hot_functions
+        assert set(result.hot_functions) == set(result.clusters)
+
+    def test_primary_cluster_starts_with_entry(self, result, program):
+        for fn, clusters in result.clusters.items():
+            entry_id = program.function(fn).entry.bb_id
+            assert clusters[0][0] == entry_id
+
+    def test_clusters_have_no_duplicates(self, result):
+        for fn, clusters in result.clusters.items():
+            flat = [bb for c in clusters for bb in c]
+            assert len(flat) == len(set(flat))
+
+    def test_clusters_reference_real_blocks(self, result, program):
+        for fn, clusters in result.clusters.items():
+            function = program.function(fn)
+            for cluster in clusters:
+                for bb in cluster:
+                    assert function.has_block(bb)
+
+    def test_symbol_order_covers_hot_functions(self, result):
+        order = set(result.symbol_order)
+        for fn in result.hot_functions:
+            assert fn in order
+
+    def test_cold_symbols_after_primaries(self, result):
+        order = result.symbol_order
+        last_primary = max(
+            i for i, s in enumerate(order) if not s.endswith(".cold")
+        )
+        first_cold = min(
+            (i for i, s in enumerate(order) if s.endswith(".cold")), default=None
+        )
+        if first_cold is not None:
+            assert first_cold > 0
+            assert all(s.endswith(".cold") for s in order[first_cold:])
+
+    def test_directive_texts_parse(self, result):
+        parsed = bbsections.parse_cc_prof(result.cc_prof_text)
+        assert parsed == {k: [list(c) for c in v] for k, v in result.clusters.items()}
+        assert bbsections.parse_ld_prof(result.ld_prof_text) == result.symbol_order
+
+    def test_dcfg_counts_positive(self, result):
+        for fd in result.dcfg.values():
+            assert all(c > 0 for c in fd.block_counts.values())
+            assert all(w > 0 for w in fd.edges.values())
+
+    def test_call_edges_between_known_functions(self, result, program):
+        for (caller, callee), weight in result.call_edges.items():
+            assert program.has_function(caller)
+            assert program.has_function(callee)
+            assert weight > 0
+
+    def test_stats_accounting(self, result, perf):
+        stats = result.stats
+        assert stats.num_samples == perf.num_samples
+        assert stats.num_records > 0
+        assert stats.profile_bytes == perf.size_bytes
+        assert stats.dcfg_nodes > 0
+        assert stats.peak_memory_bytes > perf.size_bytes
+        assert stats.cost_units > 0
+
+    def test_meter_balances(self, metadata_exe, perf):
+        meter = MemoryMeter()
+        analyze(metadata_exe, perf, meter=meter)
+        assert meter.live_bytes == 0
+        assert meter.peak_bytes > 0
+
+    def test_split_cold_off_keeps_all_blocks(self, metadata_exe, perf, program):
+        result = analyze(metadata_exe, perf, WPAOptions(split_cold=False))
+        for fn, clusters in result.clusters.items():
+            assert len(clusters[0]) == program.function(fn).num_blocks
+
+    def test_deterministic(self, metadata_exe, perf):
+        a = analyze(metadata_exe, perf)
+        b = analyze(metadata_exe, perf)
+        assert a.clusters == b.clusters
+        assert a.symbol_order == b.symbol_order
+
+
+class TestInterproc:
+    def test_interproc_clusters_valid(self, metadata_exe, perf, program):
+        result = analyze(metadata_exe, perf, WPAOptions(interproc=True))
+        assert result.clusters
+        for fn, clusters in result.clusters.items():
+            entry_id = program.function(fn).entry.bb_id
+            assert clusters[0][0] == entry_id or entry_id in clusters[0]
+            flat = [bb for c in clusters for bb in c]
+            assert len(flat) == len(set(flat))
+
+    def test_interproc_symbols_match_cluster_naming(self, metadata_exe, perf):
+        result = analyze(metadata_exe, perf, WPAOptions(interproc=True))
+        for symbol in result.symbol_order:
+            base = symbol.split(".")[0] if "." in symbol else symbol
+            assert base in result.clusters or symbol in result.clusters
+
+    def test_interproc_node_cap(self, metadata_exe, perf):
+        with pytest.raises(ValueError, match="too large"):
+            analyze(metadata_exe, perf, WPAOptions(interproc=True, max_interproc_nodes=1))
+
+
+class TestSuperblocks:
+    def test_full_flow_merges(self):
+        counts = {0: 100.0, 1: 100.0, 2: 100.0}
+        edges = {(0, 1): 100.0, (1, 2): 100.0}
+        assert _merge_superblocks([0, 1, 2], counts, edges) == [[0, 1, 2]]
+
+    def test_partial_flow_splits(self):
+        counts = {0: 100.0, 1: 50.0, 2: 50.0}
+        edges = {(0, 1): 50.0, (1, 2): 50.0}
+        assert _merge_superblocks([0, 1, 2], counts, edges) == [[0], [1, 2]]
+
+    def test_no_edge_no_merge(self):
+        counts = {0: 10.0, 1: 10.0}
+        assert _merge_superblocks([0, 1], counts, {}) == [[0], [1]]
+
+    def test_empty(self):
+        assert _merge_superblocks([], {}, {}) == []
