@@ -11,11 +11,16 @@ constraints on one machine:
 Run:  python examples/distributed_build.py
 """
 
+from repro import (
+    PRESETS,
+    BuildSystem,
+    PipelineConfig,
+    PropellerPipeline,
+    generate_workload,
+)
 from repro.analysis import Table, format_bytes
-from repro.buildsys import BuildSystem, ResourceLimitExceeded
 from repro.bolt import perf2bolt
-from repro.core.pipeline import PipelineConfig, PropellerPipeline
-from repro.synth import PRESETS, generate_workload
+from repro.buildsys import ResourceLimitExceeded
 
 
 def main() -> None:

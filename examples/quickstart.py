@@ -9,11 +9,10 @@ simulated hardware frontend.
 Run:  python examples/quickstart.py
 """
 
-from repro.core.pipeline import PipelineConfig, optimize
+from repro import PRESETS, PipelineConfig, generate_workload, optimize
 from repro.hwmodel import simulate_frontend
 from repro.hwmodel.frontend import DEFAULT_PARAMS
 from repro.profiling import generate_trace
-from repro.synth import PRESETS, generate_workload
 
 
 def main() -> None:

@@ -12,14 +12,45 @@ BOLT is included for comparison.
 
 Quickstart::
 
-    from repro import synth
-    from repro.core import pipeline
+    import repro
 
-    program = synth.generate_workload(synth.PRESETS["clang"], scale=0.01, seed=1)
-    result = pipeline.optimize(program, seed=1)
+    program = repro.generate_workload(repro.PRESETS["clang"], scale=0.01, seed=1)
+    result = repro.optimize(program, seed=1)
     print(result.summary())
+
+The names below form the stable public facade; everything else should be
+imported from its subpackage (``repro.core``, ``repro.buildsys``, ...).
+Facade attributes resolve lazily (PEP 562), so ``import repro`` -- and
+imports of individual subpackages -- never drag in the whole toolchain.
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+#: Facade name -> (defining module, attribute).  Resolved on first access.
+_FACADE = {
+    "optimize": ("repro.core.pipeline", "optimize"),
+    "PipelineConfig": ("repro.core.pipeline", "PipelineConfig"),
+    "PipelineResult": ("repro.core.pipeline", "PipelineResult"),
+    "PropellerPipeline": ("repro.core.pipeline", "PropellerPipeline"),
+    "generate_workload": ("repro.synth", "generate_workload"),
+    "PRESETS": ("repro.synth", "PRESETS"),
+    "BuildSystem": ("repro.buildsys", "BuildSystem"),
+}
+
+__all__ = ["__version__", *sorted(_FACADE)]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _FACADE[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: subsequent access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_FACADE))

@@ -1,0 +1,231 @@
+"""Content-addressed action execution: the distributed build's cache.
+
+The paper's build environment (§2.1) executes every compiler and linker
+invocation as an *action* on a remote worker pool, keyed by the content
+digest of its inputs.  Two properties of that system carry the whole
+scalability argument:
+
+* **Action caching.**  An action whose key was seen before is never
+  re-executed; its outputs are fetched from the content-addressed store
+  at a small fixed cost (:data:`CACHE_HIT_SECONDS`).  Phase 4's cheap
+  relink (Fig. 9, Table 5) is exactly this: cold objects replay their
+  Phase-2 action, only hot modules pay for a real backend run.
+* **Per-action resource limits.**  Remote workers are multi-tenant, so
+  each action must fit a fixed RAM budget (12 GB in the paper, §3.5).
+  Propeller's per-module actions fit; a monolithic BOLT-style
+  whole-binary rewrite does not and is rejected
+  (:class:`ResourceLimitExceeded`) -- it can only run on a dedicated
+  workstation outside the trusted build environment (§5.8).
+
+Costs are simulated seconds supplied by each action's ``compute``
+callable; nothing here consults the real clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+#: Simulated cost of replaying a cached action: fetching the stored
+#: outputs from the content-addressed store instead of re-executing.
+#: Small relative to any real backend run (compare the pipeline's
+#: ``codegen_fixed_seconds``), which is what makes warm relinks cheap.
+CACHE_HIT_SECONDS = 0.05
+
+
+def action_key(kind: str, *parts: str) -> str:
+    """Stable content-addressed key for an action.
+
+    The ``kind`` (mnemonic: which tool runs -- ``codegen``, ``link``,
+    ``llvm-bolt``) is part of the key, so two tools reading the same
+    inputs never collide.  Parts are length-prefixed before hashing so
+    the key is injective over part *boundaries*:
+    ``action_key("k", "a", "b") != action_key("k", "ab")``.
+    """
+    h = hashlib.sha256()
+    for part in (kind, *parts):
+        data = str(part).encode("utf-8")
+        h.update(len(data).to_bytes(8, "little"))
+        h.update(data)
+    return h.hexdigest()
+
+
+class ResourceLimitExceeded(Exception):
+    """A remote action's modelled peak memory exceeds the worker budget.
+
+    Carries the sizes so callers (and Table 5 / §5.8 narratives) can
+    report how far over budget the action was.
+    """
+
+    def __init__(self, kind: str, needed: int, limit: int):
+        self.kind = kind
+        self.needed = needed
+        self.limit = limit
+        super().__init__(
+            f"action '{kind}' needs {needed} bytes of RAM but remote "
+            f"workers are limited to {limit} bytes per action"
+        )
+
+
+@dataclass(frozen=True)
+class ActionResult:
+    """One executed (or replayed) action, as seen by the caller."""
+
+    #: The action's output artifact (e.g. a ``CompiledObject``).
+    value: Any
+    #: Simulated seconds this execution cost -- the real compute cost
+    #: on a miss, :data:`CACHE_HIT_SECONDS` on a hit.
+    cost_seconds: float
+    #: Modelled peak RAM of the action that produced the artifact.
+    peak_memory: int
+    #: Whether the result was replayed from the action cache.
+    cache_hit: bool
+    #: The content-addressed key (see :func:`action_key`).
+    key: str
+    #: Action kind, kept for reporting.
+    kind: str = ""
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss counters for one :class:`ActionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    value: Any
+    cost_seconds: float
+    peak_memory: int
+
+
+class ActionCache:
+    """Content-addressed store of completed action outputs."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _CacheEntry] = {}
+        self.stats = CacheStats()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> "_CacheEntry | None":
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def store(self, key: str, entry: _CacheEntry) -> None:
+        self._entries[key] = entry
+
+    def evict_all(self) -> None:
+        """Drop every stored artifact (counters are preserved)."""
+        self._entries.clear()
+
+
+class BuildSystem:
+    """The distributed build: cache + worker pool + resource policy.
+
+    :param workers: size of the remote worker pool the makespan model
+        divides work across.  72 models the paper's workstation
+        comparison point; production pools are effectively unbounded
+        (the pipeline defaults to 1000).
+    :param ram_limit: per-action RAM budget on remote workers (the
+        paper's environment enforces 12 GB, §3.5).
+    :param enforce_ram: when False, model a dedicated workstation with
+        no per-action budget (how the paper runs BOLT at all, §5.8).
+    """
+
+    def __init__(
+        self,
+        workers: int = 72,
+        ram_limit: int = 12 << 30,
+        enforce_ram: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.ram_limit = ram_limit
+        self.enforce_ram = enforce_ram
+        self.cache = ActionCache()
+
+    # -- cache passthroughs -------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.cache
+
+    def evict_all(self) -> None:
+        self.cache.evict_all()
+
+    # -- execution ----------------------------------------------------
+
+    def run_action(
+        self,
+        kind: str,
+        key_parts: Iterable[str],
+        compute: Callable[[], Tuple[Any, float, int]],
+        remote: bool = True,
+    ) -> ActionResult:
+        """Execute one action through the cache.
+
+        ``compute`` returns ``(value, cost_seconds, peak_memory)`` and
+        runs only on a cache miss.  Remote actions (the default) are
+        subject to the per-action RAM budget; ``remote=False`` models a
+        step pinned to the submitting machine (e.g. the final link on
+        a beefy dedicated host), which bypasses it.
+        """
+        key = action_key(kind, *key_parts)
+        entry = self.cache.lookup(key)
+        if entry is not None:
+            return ActionResult(
+                value=entry.value,
+                cost_seconds=CACHE_HIT_SECONDS,
+                peak_memory=entry.peak_memory,
+                cache_hit=True,
+                key=key,
+                kind=kind,
+            )
+        value, cost_seconds, peak_memory = compute()
+        if remote and self.enforce_ram and peak_memory > self.ram_limit:
+            raise ResourceLimitExceeded(kind, needed=peak_memory, limit=self.ram_limit)
+        self.cache.store(
+            key, _CacheEntry(value=value, cost_seconds=cost_seconds,
+                             peak_memory=peak_memory)
+        )
+        return ActionResult(
+            value=value,
+            cost_seconds=cost_seconds,
+            peak_memory=peak_memory,
+            cache_hit=False,
+            key=key,
+            kind=kind,
+        )
+
+    def schedule(self, actions: "Iterable[ActionResult]") -> "PhaseReport":
+        """Makespan of one build phase over this system's worker pool.
+
+        See :func:`repro.buildsys.scheduler.schedule_phase`.
+        """
+        from repro.buildsys.scheduler import schedule_phase
+
+        return schedule_phase(actions, workers=self.workers)

@@ -13,8 +13,23 @@
   splitting) and emitting the ``cc_prof``/``ld_prof`` directives.
 * :mod:`repro.core.pipeline` -- Phases 1-4 end to end on the
   distributed build system.
+
+Submodules load lazily (PEP 562): ``import repro.core.exttsp`` pulls in
+only the layout algorithm, not the pipeline's linker/profiling stack.
 """
 
-from repro.core import bbsections, exttsp, funcorder, pipeline, prefetch, wpa
-
 __all__ = ["bbsections", "exttsp", "funcorder", "pipeline", "prefetch", "wpa"]
+
+
+def __getattr__(name):
+    if name not in __all__:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"repro.core.{name}")
+    globals()[name] = module
+    return module
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

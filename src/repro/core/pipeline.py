@@ -55,7 +55,9 @@ class PipelineConfig:
     #: Hardware-profiling run length (taken branches).
     lbr_branches: int = 400_000
     lbr_period: int = 31
-    #: Build pool size; 72 models the paper's workstation.
+    #: Build pool size.  The default models the effectively unbounded
+    #: distributed pool (§2.1); pass 72 to model the paper's workstation
+    #: comparison point (Fig. 9, right).
     workers: int = 1000
     enforce_ram: bool = True
     ram_limit: int = 12 << 30

@@ -1,0 +1,111 @@
+"""The public API surface: facade exports and import isolation.
+
+The package promises (a) a stable top-level facade -- ``from repro
+import optimize`` just works -- and (b) lazy loading, so importing one
+subsystem never drags in the rest of the toolchain.  Isolation is
+checked in subprocesses because imports are process-global.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.bolt",
+    "repro.buildsys",
+    "repro.codegen",
+    "repro.core",
+    "repro.elf",
+    "repro.hwmodel",
+    "repro.ir",
+    "repro.isa",
+    "repro.linker",
+    "repro.profiling",
+    "repro.synth",
+    "repro.tools",
+]
+
+
+def _run(code: str) -> None:
+    subprocess.run([sys.executable, "-c", code], check=True)
+
+
+class TestImportIsolation:
+    @pytest.mark.parametrize("pkg", SUBPACKAGES)
+    def test_subpackage_imports_standalone(self, pkg):
+        _run(f"import {pkg}")
+
+    def test_core_algorithms_skip_pipeline_stack(self):
+        """`import repro.core.exttsp` must not load linker/profiling."""
+        _run(
+            "import repro.core.exttsp, repro.core.bbsections, sys\n"
+            "for bad in ('repro.linker', 'repro.profiling',\n"
+            "            'repro.core.pipeline', 'repro.buildsys'):\n"
+            "    assert bad not in sys.modules, bad\n"
+        )
+
+    def test_top_level_import_is_lazy(self):
+        _run(
+            "import repro, sys\n"
+            "assert 'repro.core' not in sys.modules\n"
+            "assert 'repro.linker' not in sys.modules\n"
+        )
+
+    def test_docstring_quickstart_runs(self):
+        """The quickstart in repro's own docstring must work verbatim-ish."""
+        _run(
+            "import repro\n"
+            "program = repro.generate_workload(\n"
+            "    repro.PRESETS['531.deepsjeng'], scale=0.2, seed=3)\n"
+            "result = repro.optimize(\n"
+            "    program,\n"
+            "    repro.PipelineConfig(lbr_branches=20_000, pgo_steps=10_000,\n"
+            "                         enforce_ram=False),\n"
+            "    seed=3)\n"
+            "assert result.summary()\n"
+        )
+
+
+class TestFacade:
+    def test_all_is_explicit_and_resolvable(self):
+        import repro
+
+        assert "optimize" in repro.__all__
+        assert "BuildSystem" in repro.__all__
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_facade_resolves_to_real_objects(self):
+        import repro
+        from repro.buildsys import BuildSystem
+        from repro.core.pipeline import PipelineConfig, PipelineResult, optimize
+        from repro.synth import PRESETS, generate_workload
+
+        assert repro.optimize is optimize
+        assert repro.PipelineConfig is PipelineConfig
+        assert repro.PipelineResult is PipelineResult
+        assert repro.BuildSystem is BuildSystem
+        assert repro.PRESETS is PRESETS
+        assert repro.generate_workload is generate_workload
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol
+
+    def test_dir_lists_facade(self):
+        import repro
+
+        listing = dir(repro)
+        for name in repro.__all__:
+            assert name in listing
+
+    def test_core_lazy_getattr(self):
+        import repro.core
+
+        assert repro.core.exttsp.__name__ == "repro.core.exttsp"
+        with pytest.raises(AttributeError):
+            repro.core.no_such_module
