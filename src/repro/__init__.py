@@ -35,6 +35,8 @@ _FACADE = {
     "generate_workload": ("repro.synth", "generate_workload"),
     "PRESETS": ("repro.synth", "PRESETS"),
     "BuildSystem": ("repro.buildsys", "BuildSystem"),
+    "ParallelExecutor": ("repro.runtime", "ParallelExecutor"),
+    "PersistentActionStore": ("repro.runtime", "PersistentActionStore"),
 }
 
 __all__ = ["__version__", *sorted(_FACADE)]

@@ -24,8 +24,11 @@ callable; nothing here consults the real clock.
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runtime import ParallelExecutor, PersistentActionStore, resolve_cache_dir
 
 #: Simulated cost of replaying a cached action: fetching the stored
 #: outputs from the content-addressed store instead of re-executing.
@@ -93,6 +96,9 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    #: Subset of ``hits`` that were replayed from the persistent
+    #: on-disk store rather than process memory.
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -111,20 +117,38 @@ class _CacheEntry:
 
 
 class ActionCache:
-    """Content-addressed store of completed action outputs."""
+    """Content-addressed store of completed action outputs.
 
-    def __init__(self) -> None:
+    Optionally backed by a :class:`~repro.runtime.PersistentActionStore`:
+    a key missing from process memory is then looked up on disk, and
+    every stored entry is also written through to disk, so later
+    *processes* replay this run's actions the way later *phases* replay
+    earlier ones.  An unreadable disk entry degrades to a miss.
+    """
+
+    def __init__(self, store: Optional[PersistentActionStore] = None) -> None:
         self._entries: Dict[str, _CacheEntry] = {}
+        self._store = store
         self.stats = CacheStats()
 
+    @property
+    def persistent_store(self) -> Optional[PersistentActionStore]:
+        return self._store
+
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        return key in self._entries or (self._store is not None and key in self._store)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def lookup(self, key: str) -> "_CacheEntry | None":
         entry = self._entries.get(key)
+        if entry is None and self._store is not None:
+            disk = self._store.load(key)
+            if isinstance(disk, _CacheEntry):
+                self._entries[key] = disk
+                self.stats.disk_hits += 1
+                entry = disk
         if entry is None:
             self.stats.misses += 1
         else:
@@ -133,10 +157,15 @@ class ActionCache:
 
     def store(self, key: str, entry: _CacheEntry) -> None:
         self._entries[key] = entry
+        if self._store is not None:
+            self._store.store(key, entry)
 
     def evict_all(self) -> None:
-        """Drop every stored artifact (counters are preserved)."""
+        """Drop every artifact stored in memory *and* on disk
+        (counters are preserved)."""
         self._entries.clear()
+        if self._store is not None:
+            self._store.clear()
 
 
 class BuildSystem:
@@ -150,6 +179,10 @@ class BuildSystem:
         paper's environment enforces 12 GB, §3.5).
     :param enforce_ram: when False, model a dedicated workstation with
         no per-action budget (how the paper runs BOLT at all, §5.8).
+    :param cache_dir: when given, back the action cache with a
+        persistent on-disk store rooted there, so a later process with
+        identical action inputs replays this run's outputs.  ``None``
+        (the default) keeps the cache in-memory only.
     """
 
     def __init__(
@@ -157,13 +190,15 @@ class BuildSystem:
         workers: int = 72,
         ram_limit: int = 12 << 30,
         enforce_ram: bool = True,
+        cache_dir: "Optional[str | os.PathLike]" = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.ram_limit = ram_limit
         self.enforce_ram = enforce_ram
-        self.cache = ActionCache()
+        store = PersistentActionStore(cache_dir) if cache_dir is not None else None
+        self.cache = ActionCache(store=store)
 
     # -- cache passthroughs -------------------------------------------
 
@@ -221,6 +256,63 @@ class BuildSystem:
             kind=kind,
         )
 
+    def run_batch(
+        self,
+        kind: str,
+        items: "Sequence[Tuple[Sequence[str], Callable[..., Tuple[Any, float, int]], tuple]]",
+        executor: Optional[ParallelExecutor] = None,
+        remote: bool = True,
+    ) -> List[ActionResult]:
+        """Execute a batch of independent same-kind actions through the
+        cache, fanning cache misses across ``executor``'s processes.
+
+        Each item is ``(key_parts, fn, args)`` where ``fn(*args)``
+        returns the usual ``(value, cost_seconds, peak_memory)`` triple
+        and must be a pure, module-level (picklable) callable -- unlike
+        :meth:`run_action`'s closure, a batch compute function crosses
+        process boundaries.
+
+        Determinism contract: results are returned in item order, cache
+        lookups and stores happen serially in the submitting process in
+        item order, and workers only ever run ``fn``.  A batch executed
+        with any ``executor`` is therefore bit-identical to the same
+        batch executed serially, and leaves identical cache state.
+        """
+        keys = [action_key(kind, *key_parts) for key_parts, _fn, _args in items]
+        entries = [self.cache.lookup(key) for key in keys]
+        miss_idx = [i for i, entry in enumerate(entries) if entry is None]
+        if miss_idx:
+            tasks = [(items[i][1], items[i][2]) for i in miss_idx]
+            if executor is not None:
+                computed = executor.map(_call_compute, tasks)
+            else:
+                computed = [fn(*args) for fn, args in tasks]
+            for i, (value, cost_seconds, peak_memory) in zip(miss_idx, computed):
+                if remote and self.enforce_ram and peak_memory > self.ram_limit:
+                    raise ResourceLimitExceeded(
+                        kind, needed=peak_memory, limit=self.ram_limit
+                    )
+                entry = _CacheEntry(
+                    value=value, cost_seconds=cost_seconds, peak_memory=peak_memory
+                )
+                self.cache.store(keys[i], entry)
+                entries[i] = entry
+        miss_set = set(miss_idx)
+        results: List[ActionResult] = []
+        for i, entry in enumerate(entries):
+            hit = i not in miss_set
+            results.append(
+                ActionResult(
+                    value=entry.value,
+                    cost_seconds=CACHE_HIT_SECONDS if hit else entry.cost_seconds,
+                    peak_memory=entry.peak_memory,
+                    cache_hit=hit,
+                    key=keys[i],
+                    kind=kind,
+                )
+            )
+        return results
+
     def schedule(self, actions: "Iterable[ActionResult]") -> "PhaseReport":
         """Makespan of one build phase over this system's worker pool.
 
@@ -229,3 +321,8 @@ class BuildSystem:
         from repro.buildsys.scheduler import schedule_phase
 
         return schedule_phase(actions, workers=self.workers)
+
+
+def _call_compute(fn: Callable[..., Tuple[Any, float, int]], args: tuple):
+    """Module-level trampoline so batch tasks pickle into worker processes."""
+    return fn(*args)

@@ -16,12 +16,18 @@ shrinks branches whose final displacement fits in one byte.
 """
 
 from repro.codegen.options import BBSectionsMode, CodeGenOptions
-from repro.codegen.lowering import CompiledObject, compile_module, compile_program
+from repro.codegen.lowering import (
+    CompiledObject,
+    compile_action,
+    compile_module,
+    compile_program,
+)
 
 __all__ = [
     "BBSectionsMode",
     "CodeGenOptions",
     "CompiledObject",
+    "compile_action",
     "compile_module",
     "compile_program",
 ]

@@ -515,6 +515,28 @@ def compile_module(module: ir.Module, options: CodeGenOptions) -> CompiledObject
     return result
 
 
+def compile_action(
+    module: ir.Module,
+    options: CodeGenOptions,
+    fixed_seconds: float,
+    seconds_per_instr: float,
+) -> Tuple[CompiledObject, float, int]:
+    """One backend action: ``(artifact, simulated cost, modelled peak RAM)``.
+
+    This is :func:`compile_module` packaged in the build system's
+    action-compute signature as a module-level function, so batch
+    executors can pickle it into worker processes (the pipeline's
+    historical closure could not cross a process boundary).  It must
+    stay pure: everything an action produces is derived from its
+    arguments, which is what makes parallel fan-out and cache replay
+    bit-identical to serial execution.
+    """
+    compiled = compile_module(module, options)
+    cost = fixed_seconds + compiled.num_instrs * seconds_per_instr
+    peak = compiled.obj.total_size * 3
+    return compiled, cost, peak
+
+
 def compile_program(program: ir.Program, options: CodeGenOptions) -> List[CompiledObject]:
     """Lower every module of a program (convenience for tests/examples)."""
     return [compile_module(module, options) for module in program.modules]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -60,3 +61,32 @@ class CodeGenOptions:
         if self.bb_sections != BBSectionsMode.LIST or self.clusters is None:
             return None
         return self.clusters.get(func_name)
+
+    def cache_signature(self) -> str:
+        """SHA-256 over everything here that changes generated code.
+
+        A codegen action's cache key must cover its *full* input set --
+        module content, these options, and the steering profile -- so a
+        persistent cache shared across runs never replays an object
+        compiled under different options (e.g. a different seed's
+        ``ir_profile``).  The profile contributes via its ``digest()``
+        when it defines one (duck-typed, like ``ir_profile`` itself).
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self.bb_sections.value}:{int(self.bb_addr_map)}:{self.align_function}:"
+            f"{self.callee_saved_regs}:{int(self.debug_info)}".encode()
+        )
+        if self.clusters is not None:
+            for fn in sorted(self.clusters):
+                encoded = "|".join(
+                    ",".join(str(bb) for bb in cluster) for cluster in self.clusters[fn]
+                )
+                h.update(f"\x00K{fn}={encoded}".encode())
+        if self.prefetches is not None:
+            for fn in sorted(self.prefetches):
+                h.update(f"\x00P{fn}={sorted(map(tuple, self.prefetches[fn]))}".encode())
+        profile_digest = getattr(self.ir_profile, "digest", None)
+        h.update(b"\x00I")
+        h.update(profile_digest().encode() if callable(profile_digest) else b"none")
+        return h.hexdigest()

@@ -276,6 +276,38 @@ def ext_tsp_order(
     return ExtTSP(nodes, dict_edges_ok(edges), entry=entry, params=params).solve()
 
 
+def _order_task(
+    nodes: Dict[NodeId, Tuple[int, float]],
+    edges: List[Tuple[NodeId, NodeId, float]],
+    entry: Optional[NodeId],
+    params: LayoutParams,
+) -> List[NodeId]:
+    """Module-level (picklable) form of :func:`ext_tsp_order`."""
+    return ext_tsp_order(nodes, edges, entry=entry, params=params)
+
+
+def ext_tsp_order_many(
+    problems: Sequence[
+        Tuple[Dict[NodeId, Tuple[int, float]], Iterable[Tuple[NodeId, NodeId, float]], Optional[NodeId]]
+    ],
+    params: LayoutParams = DEFAULT_PARAMS,
+    executor: Optional[object] = None,
+) -> List[List[NodeId]]:
+    """Solve many independent layout problems, orders in input order.
+
+    Each problem is ``(nodes, edges, entry)``.  WPA's per-function
+    layout is embarrassingly parallel -- every hot function is its own
+    problem -- so when an ``executor`` (anything with the
+    :meth:`repro.runtime.ParallelExecutor.map` contract) is given, the
+    solves fan out across worker processes; the solver itself is fully
+    deterministic, so the executor cannot change any order returned.
+    """
+    tasks = [(nodes, list(edges), entry, params) for nodes, edges, entry in problems]
+    if executor is None:
+        return [_order_task(*task) for task in tasks]
+    return executor.map(_order_task, tasks)
+
+
 def dict_edges_ok(edges: Iterable[Tuple[NodeId, NodeId, float]]):
     """Aggregate duplicate directed edges by summing weights."""
     agg: Dict[Tuple[NodeId, NodeId], float] = {}

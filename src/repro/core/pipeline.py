@@ -18,14 +18,15 @@ phase, which is what the paper's Figures 4, 5, 9 and Table 5 report.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import ir
 from repro.analysis import MemoryMeter
-from repro.buildsys import ActionResult, BuildSystem, PhaseReport
-from repro.codegen import BBSectionsMode, CodeGenOptions, CompiledObject, compile_module
+from repro.buildsys import BuildSystem, PhaseReport
+from repro.codegen import BBSectionsMode, CodeGenOptions, compile_action
 from repro.core.wpa import WPAOptions, WPAResult, analyze
 from repro.elf import Executable, ObjectFile
 from repro.ir.digest import module_digest
@@ -37,6 +38,8 @@ from repro.profiling import (
     generate_trace,
     sample_lbr,
 )
+from repro.runtime import ParallelExecutor, default_jobs, resolve_cache_dir
+from repro.runtime.executor import shared_executor
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,17 @@ class PipelineConfig:
     workers: int = 1000
     enforce_ram: bool = True
     ram_limit: int = 12 << 30
+    #: Real worker *processes* used to execute backend actions and
+    #: per-function layout on this machine.  ``None`` derives the count
+    #: from the simulated pool: ``min(workers, cpu count)``.  This knob
+    #: never changes any artifact or simulated quantity -- parallel and
+    #: serial runs are bit-identical (see ``PipelineResult.digest``);
+    #: it only changes how fast the simulation itself runs.
+    jobs: Optional[int] = None
+    #: Directory for the persistent action cache.  ``None`` falls back
+    #: to the ``REPRO_CACHE_DIR`` environment variable; when neither is
+    #: set, caching is in-memory only and runs start cold, as before.
+    cache_dir: Optional[str] = None
     wpa: WPAOptions = WPAOptions()
     hugepages: bool = False
     # Cost-model rates (simulated seconds per unit of work).
@@ -72,6 +86,38 @@ class PipelineConfig:
     link_seconds_per_byte: float = 2e-7
     wpa_seconds_per_unit: float = 1e-6
     profile_seconds_per_branch: float = 2e-6
+
+
+def _wpa_options_signature(options: WPAOptions) -> str:
+    """Deterministic digest of the WPA knobs (flat dataclasses of
+    scalars, so the auto-generated repr is complete and stable)."""
+    return hashlib.sha256(repr(options).encode("utf-8")).hexdigest()
+
+
+def _link_options_signature(options: LinkOptions) -> str:
+    """Deterministic digest of every :class:`LinkOptions` field.
+
+    Sequences keep their order (``symbol_order`` is meaningful order);
+    sets are sorted; parts are length-prefixed like :func:`action_key`.
+    """
+    h = hashlib.sha256()
+    parts = [
+        options.output_name,
+        options.entry_symbol,
+        str(options.text_base),
+        str(options.page_size),
+        str(int(options.emit_relocs)),
+        str(int(options.keep_bb_addr_map)),
+        str(int(options.relax)),
+        str(int(options.hugepages)),
+        ",".join(sorted(options.features)),
+        "|".join(options.symbol_order) if options.symbol_order is not None else "<none>",
+    ]
+    for part in parts:
+        data = part.encode("utf-8")
+        h.update(len(data).to_bytes(8, "little"))
+        h.update(data)
+    return h.hexdigest()
 
 
 @dataclass
@@ -109,6 +155,27 @@ class PipelineResult:
     @property
     def pct_hot_objects(self) -> float:
         return self.optimized.hot_modules / max(1, len(self.program.modules))
+
+    def digest(self) -> str:
+        """SHA-256 over every artifact the four phases produced.
+
+        Deliberately covers *content only* -- the three binaries and
+        the WPA directives -- and excludes all timing and cache-hit
+        accounting: ``jobs``, the simulated ``workers`` pool and a warm
+        persistent cache are allowed to change how fast a result is
+        produced (real and simulated), never what is produced.  Equal
+        digests therefore mean a parallel, serial, cold or warm run of
+        the same configuration built the same binaries.
+        """
+        h = hashlib.sha256()
+        for outcome in (self.baseline, self.metadata, self.optimized):
+            h.update(b"\x00X")
+            h.update(outcome.executable.content_digest().encode())
+        h.update(b"\x00W")
+        h.update(self.wpa_result.cc_prof_text.encode())
+        h.update(self.wpa_result.ld_prof_text.encode())
+        h.update(self.ir_profile.digest().encode())
+        return h.hexdigest()
 
     def summary(self) -> str:
         w = self.wpa_result
@@ -148,11 +215,23 @@ class PropellerPipeline:
             workers=config.workers,
             ram_limit=config.ram_limit,
             enforce_ram=config.enforce_ram,
+            cache_dir=resolve_cache_dir(config.cache_dir),
         )
+        self.jobs = config.jobs if config.jobs is not None else default_jobs(config.workers)
         self._digests: Dict[str, str] = {}
+        # id -> (options, signature); the options reference keeps the
+        # object alive so a recycled id can never alias a stale entry.
+        self._option_sigs: Dict[int, Tuple[CodeGenOptions, str]] = {}
+        #: Simulated cost of the most recent instrumented training run.
+        self._pgo_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Build helpers
+
+    @property
+    def executor(self) -> Optional[ParallelExecutor]:
+        """The process pool backend actions fan out over (None = serial)."""
+        return shared_executor(self.jobs) if self.jobs > 1 else None
 
     def _digest(self, module: ir.Module) -> str:
         digest = self._digests.get(module.name)
@@ -161,21 +240,22 @@ class PropellerPipeline:
             self._digests[module.name] = digest
         return digest
 
-    def _codegen(
-        self, module: ir.Module, options: CodeGenOptions, tag: str
-    ) -> ActionResult:
-        config = self.config
+    def _program_digest(self) -> str:
+        """Digest of the whole program (module digests in order)."""
+        h = hashlib.sha256()
+        for module in self.program.modules:
+            h.update(self._digest(module).encode())
+        return h.hexdigest()
 
-        def compute():
-            compiled = compile_module(module, options)
-            cost = (
-                config.codegen_fixed_seconds
-                + compiled.num_instrs * config.codegen_seconds_per_instr
-            )
-            peak = compiled.obj.total_size * 3
-            return compiled, cost, peak
-
-        return self.buildsys.run_action("codegen", [self._digest(module), tag], compute)
+    def _options_signature(self, options: CodeGenOptions) -> str:
+        # Memoized per options object: one shared options instance
+        # covers every cold module of a build.
+        cached = self._option_sigs.get(id(options))
+        if cached is not None and cached[0] is options:
+            return cached[1]
+        sig = options.cache_signature()
+        self._option_sigs[id(options)] = (options, sig)
+        return sig
 
     def build(
         self,
@@ -185,11 +265,18 @@ class PropellerPipeline:
         per_module_options: Optional[Dict[str, CodeGenOptions]] = None,
         per_module_tags: Optional[Dict[str, str]] = None,
     ) -> BuildOutcome:
-        """Compile every module (through the cache) and link."""
-        actions: List[ActionResult] = []
-        objects: List[ObjectFile] = []
+        """Compile every module (through the cache, in parallel) and link.
+
+        All backend actions of one build are independent, so they run
+        as a single batch: cache misses fan out across the pipeline's
+        worker processes, in deterministic (module) order.  The link is
+        itself an action keyed by the backend action keys plus the link
+        options, so a warm cache replays it too.
+        """
+        config = self.config
+        items = []
         hot_modules = 0
-        cold_hits = 0
+        hot_names: Set[str] = set()
         for module in self.program.modules:
             options = codegen_options
             module_tag = tag
@@ -197,23 +284,46 @@ class PropellerPipeline:
                 options = per_module_options[module.name]
                 module_tag = (per_module_tags or {}).get(module.name, tag)
                 hot_modules += 1
-            result = self._codegen(module, options, module_tag)
-            if result.cache_hit and per_module_options is not None and \
-                    module.name not in per_module_options:
-                cold_hits += 1
-            actions.append(result)
-            objects.append(result.value.obj)
+                hot_names.add(module.name)
+            key_parts = [self._digest(module), module_tag, self._options_signature(options)]
+            items.append((
+                key_parts,
+                compile_action,
+                (module, options, config.codegen_fixed_seconds,
+                 config.codegen_seconds_per_instr),
+            ))
+        actions = self.buildsys.run_batch("codegen", items, executor=self.executor)
+        objects: List[ObjectFile] = [result.value.obj for result in actions]
+        cold_hits = 0
+        if per_module_options is not None:
+            cold_hits = sum(
+                1 for module, result in zip(self.program.modules, actions)
+                if result.cache_hit and module.name not in hot_names
+            )
         backends = self.buildsys.schedule(actions)
-        meter = MemoryMeter()
-        link_result = link(objects, link_options, meter=meter)
-        link_seconds = link_result.stats.cost_units * self.config.link_seconds_per_byte
+
+        def _link_compute():
+            link_result = link(objects, link_options, meter=MemoryMeter())
+            seconds = link_result.stats.cost_units * config.link_seconds_per_byte
+            return link_result, seconds, link_result.stats.peak_memory_bytes
+
+        # The inputs of the link are exactly the backend outputs (named
+        # by their action keys) and the link options; the final link
+        # runs on the submitting machine (remote=False), outside the
+        # per-action RAM budget (§3.5).
+        inputs = hashlib.sha256("\n".join(a.key for a in actions).encode()).hexdigest()
+        link_action = self.buildsys.run_action(
+            "link", [inputs, _link_options_signature(link_options)],
+            _link_compute, remote=False,
+        )
+        link_result: LinkResult = link_action.value
         return BuildOutcome(
             tag=tag,
             executable=link_result.executable,
             objects=objects,
             backends=backends,
             link_stats=link_result.stats,
-            link_seconds=link_seconds,
+            link_seconds=link_action.cost_seconds,
             hot_modules=hot_modules,
             cold_cache_hits=cold_hits,
         )
@@ -222,11 +332,84 @@ class PropellerPipeline:
     # Phases
 
     def collect_pgo_profile(self) -> IRProfile:
-        """Instrumented training run (the first stage of the PGO baseline)."""
-        profile = collect_ir_profile(
-            self.program, max_steps=self.config.pgo_steps, seed=self.config.seed
+        """Instrumented training run (the first stage of the PGO baseline).
+
+        The run is deterministic in (program, steps, seed, drift), so it
+        is itself an action: a warm cache replays the profile instead of
+        re-interpreting the program.  Profiling runs on the submitting
+        machine (``remote=False``), outside the per-action RAM budget.
+        """
+        config = self.config
+
+        def _compute():
+            profile = collect_ir_profile(
+                self.program, max_steps=config.pgo_steps, seed=config.seed
+            )
+            profile = profile.apply_drift(config.pgo_drift, seed=config.seed)
+            return profile, config.pgo_steps * config.profile_seconds_per_branch, 0
+
+        action = self.buildsys.run_action(
+            "profile-pgo",
+            [self._program_digest(), str(config.pgo_steps), str(config.seed),
+             float(config.pgo_drift).hex()],
+            _compute,
+            remote=False,
         )
-        return profile.apply_drift(self.config.pgo_drift, seed=self.config.seed)
+        self._pgo_seconds = action.cost_seconds
+        return action.value
+
+    def _collect_lbr(self, metadata_exe: Executable) -> Tuple[PerfData, float, str]:
+        """Phase 3 profiled run: deterministic in (binary, run length, seed).
+
+        Returns ``(perf, cost_seconds, action_key)``; the key doubles as
+        the perf data's content identity for downstream action keys.
+        """
+        config = self.config
+
+        def _compute():
+            trace = generate_trace(
+                metadata_exe,
+                max_branches=config.lbr_branches,
+                seed=config.seed + 1,
+                record_blocks=False,
+            )
+            perf = sample_lbr(trace, period=config.lbr_period, binary_name="metadata.out")
+            cost = config.lbr_branches * config.profile_seconds_per_branch
+            return perf, cost, perf.size_bytes
+
+        action = self.buildsys.run_action(
+            "profile-lbr",
+            [metadata_exe.content_digest(), str(config.lbr_branches),
+             str(config.lbr_period), str(config.seed + 1)],
+            _compute,
+            remote=False,
+        )
+        return action.value, action.cost_seconds, action.key
+
+    def _analyze(
+        self, metadata_exe: Executable, perf: PerfData, perf_key: str
+    ) -> Tuple[WPAResult, float]:
+        """Whole-program analysis as a cached action.
+
+        Keyed by the metadata binary, the perf data's producing action
+        and the WPA options; per-function layout fans out over the
+        pipeline's worker processes on a miss.
+        """
+        config = self.config
+        executor = self.executor
+
+        def _compute():
+            wpa_result = analyze(metadata_exe, perf, config.wpa, executor=executor)
+            cost = wpa_result.stats.cost_units * config.wpa_seconds_per_unit
+            return wpa_result, cost, wpa_result.stats.peak_memory_bytes
+
+        action = self.buildsys.run_action(
+            "wpa",
+            [metadata_exe.content_digest(), perf_key, _wpa_options_signature(config.wpa)],
+            _compute,
+            remote=False,
+        )
+        return action.value, action.cost_seconds
 
     def apply_inlining(self, ir_profile: IRProfile):
         """Phase 1 optimization: profile-guided inlining.
@@ -269,7 +452,7 @@ class PropellerPipeline:
 
         # Baseline (PGO + ThinLTO equivalent): train, then build.
         ir_profile = self.collect_pgo_profile()
-        times["pgo_profile_run"] = config.pgo_steps * config.profile_seconds_per_branch
+        times["pgo_profile_run"] = self._pgo_seconds
         if config.inline_hot:
             self.apply_inlining(ir_profile)
         baseline = self.build(
@@ -289,16 +472,10 @@ class PropellerPipeline:
         times["metadata_build"] = metadata.wall_seconds
 
         # Phase 3: profile the metadata binary and run WPA.
-        trace = generate_trace(
-            metadata.executable,
-            max_branches=config.lbr_branches,
-            seed=config.seed + 1,
-            record_blocks=False,
-        )
-        perf = sample_lbr(trace, period=config.lbr_period, binary_name="metadata.out")
-        times["lbr_profile_run"] = config.lbr_branches * config.profile_seconds_per_branch
-        wpa_result = analyze(metadata.executable, perf, config.wpa)
-        times["wpa_convert"] = wpa_result.stats.cost_units * config.wpa_seconds_per_unit
+        perf, lbr_seconds, perf_key = self._collect_lbr(metadata.executable)
+        times["lbr_profile_run"] = lbr_seconds
+        wpa_result, wpa_seconds = self._analyze(metadata.executable, perf, perf_key)
+        times["wpa_convert"] = wpa_seconds
 
         # Phase 4: re-codegen hot modules with clusters, reuse cold objects.
         optimized = self.relink(ir_profile, wpa_result)

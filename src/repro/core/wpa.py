@@ -29,7 +29,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import MemoryMeter
 from repro.core import bbsections
-from repro.core.exttsp import DEFAULT_PARAMS, LayoutParams, ext_tsp_order
+from repro.core.exttsp import (
+    DEFAULT_PARAMS,
+    LayoutParams,
+    ext_tsp_order,
+    ext_tsp_order_many,
+)
 from repro.core.funcorder import hfsort_order
 from repro.elf import Executable, SectionKind, bbaddrmap
 from repro.profiling import PerfData
@@ -275,15 +280,21 @@ def _merge_superblocks(
     return groups
 
 
-def _superblock_layout(
+def _superblock_problem(
     hot_ids: List[int],
     sizes: Dict[int, int],
     counts: Dict[int, float],
     edges: Dict[Tuple[int, int], float],
     entry_id: int,
-    params: LayoutParams,
-) -> List[int]:
-    """Ext-TSP over superblocks; returns the flattened block order."""
+) -> Tuple[Dict[int, Tuple[int, float]], List[Tuple[int, int, float]], int, Dict[int, List[int]]]:
+    """Project one function's DCFG onto superblock leaders.
+
+    The cheap half of :func:`_superblock_layout`: grouping and edge
+    projection stay in the submitting process; the returned
+    ``(nodes, edges, entry)`` problem is what the (possibly remote)
+    Ext-TSP solve consumes.  Also returns ``by_leader`` for flattening
+    the solved leader order back to block ids.
+    """
     groups = _merge_superblocks(hot_ids, counts, edges)
     leader_of: Dict[int, int] = {}
     for group in groups:
@@ -303,8 +314,23 @@ def _superblock_layout(
     eps = max(total, 1.0) * 1e-9
     leaders = [g[0] for g in groups]
     projected.extend((a, b, eps) for a, b in zip(leaders, leaders[1:]))
-    order = ext_tsp_order(nodes, projected, entry=leader_of[entry_id], params=params)
     by_leader = {g[0]: g for g in groups}
+    return nodes, projected, leader_of[entry_id], by_leader
+
+
+def _superblock_layout(
+    hot_ids: List[int],
+    sizes: Dict[int, int],
+    counts: Dict[int, float],
+    edges: Dict[Tuple[int, int], float],
+    entry_id: int,
+    params: LayoutParams,
+) -> List[int]:
+    """Ext-TSP over superblocks; returns the flattened block order."""
+    nodes, projected, entry, by_leader = _superblock_problem(
+        hot_ids, sizes, counts, edges, entry_id
+    )
+    order = ext_tsp_order(nodes, projected, entry=entry, params=params)
     return [bb for leader in order for bb in by_leader[leader]]
 
 
@@ -330,11 +356,17 @@ def _intra_layout(
     options: WPAOptions,
     meter: MemoryMeter,
     min_count: float = 0.0,
+    executor: Optional[object] = None,
 ) -> Tuple[Dict[str, List[List[int]]], List[str], List[str]]:
     clusters: Dict[str, List[List[int]]] = {}
     hot_funcs: List[str] = []
     func_heat: Dict[str, Tuple[int, float]] = {}
     has_cold: Dict[str, bool] = {}
+
+    # Pass 1 (cheap, serial): project every hot function's DCFG onto a
+    # superblock layout problem, in deterministic dcfg order.
+    pending: List[Tuple[str, List[int], Dict[int, int], Dict[int, List[int]]]] = []
+    problems = []
     for name, fd in dcfg.items():
         if fd.total_count <= min_count:
             continue
@@ -345,14 +377,28 @@ def _intra_layout(
         hot_ids = [e.bb_id for e in fmap.entries if counts.get(e.bb_id, 0.0) > 0]
         if entry_id not in hot_ids:
             hot_ids.insert(0, entry_id)
-        meter.allocate(len(hot_ids) * _LAYOUT_NODE_BYTES, "wpa-layout")
         hot_set = set(hot_ids)
         edges = {
             (s, d): w for (s, d), w in fd.edges.items() if s in hot_set and d in hot_set
         }
-        order = _superblock_layout(
-            hot_ids, sizes, counts, edges, entry_id, options.layout_params
+        nodes, projected, entry_leader, by_leader = _superblock_problem(
+            hot_ids, sizes, counts, edges, entry_id
         )
+        pending.append((name, hot_ids, sizes, by_leader))
+        problems.append((nodes, projected, entry_leader))
+
+    # Pass 2 (the Ext-TSP solves): embarrassingly parallel, one problem
+    # per hot function, results in submission order.
+    orders = ext_tsp_order_many(problems, params=options.layout_params, executor=executor)
+
+    # Pass 3: flatten and account, in the same order.  The modelled
+    # memory sequence (allocate/solve/free per function) is replayed
+    # here identically, so parallel execution cannot move the peak.
+    for (name, hot_ids, sizes, by_leader), leader_order in zip(pending, orders):
+        fd = dcfg[name]
+        fmap = index.function_map(name)
+        meter.allocate(len(hot_ids) * _LAYOUT_NODE_BYTES, "wpa-layout")
+        order = [bb for leader in leader_order for bb in by_leader[leader]]
         meter.free_category("wpa-layout")
         if not options.split_cold:
             # Keep the whole function in one section: append cold blocks.
@@ -469,8 +515,16 @@ def analyze(
     perf: PerfData,
     options: WPAOptions = WPAOptions(),
     meter: Optional[MemoryMeter] = None,
+    executor: Optional[object] = None,
 ) -> WPAResult:
-    """Run profile conversion and whole-program analysis."""
+    """Run profile conversion and whole-program analysis.
+
+    ``executor`` (the :meth:`repro.runtime.ParallelExecutor.map`
+    contract) fans the per-function Ext-TSP solves across worker
+    processes; it never changes the result, only how fast the analysis
+    runs.  Inter-procedural layout is one whole-program solve and
+    always runs in-process.
+    """
     own = meter if meter is not None else MemoryMeter()
     stats = WPAStats(num_samples=perf.num_samples, profile_bytes=perf.size_bytes)
 
@@ -495,7 +549,8 @@ def analyze(
         )
     else:
         clusters, symbol_order, hot_funcs = _intra_layout(
-            index, dcfg, call_edges, options, own, min_count=min_count
+            index, dcfg, call_edges, options, own, min_count=min_count,
+            executor=executor,
         )
     prefetches: Dict[str, List[Tuple[int, str]]] = {}
     if options.insert_prefetches:

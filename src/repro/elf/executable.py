@@ -14,6 +14,7 @@ assembly); see §5.8 of the paper and :mod:`repro.bolt.failures`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -131,6 +132,33 @@ class Executable:
 
     def function_entry(self, name: str) -> int:
         return self.symbols[name].addr
+
+    def content_digest(self) -> str:
+        """SHA-256 over the binary's observable content.
+
+        Covers placed section bytes and addresses plus the symbol
+        table -- everything downstream consumers (tracer, hardware
+        model, strippers) read; the execution model is derived from
+        these, so it does not hash separately.  Equal digests mean
+        interchangeable binaries, which is how the pipeline's
+        parallel-equals-serial and warm-cache-equals-cold invariants
+        are asserted.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.name}:{self.entry}:{int(self.hugepages)}".encode())
+        for feature in sorted(self.features):
+            h.update(f"\x00F{feature}".encode())
+        for section in sorted(self.sections, key=lambda s: (s.vaddr, s.name)):
+            h.update(f"\x00S{section.name}:{section.kind.value}:{section.vaddr}".encode())
+            h.update(bytes(section.data))
+        for name in sorted(self.symbols):
+            sym = self.symbols[name]
+            h.update(f"\x00Y{name}:{sym.addr}:{sym.size}:{sym.binding.value}".encode())
+        for addr, reloc in sorted(
+            self.retained_relocations, key=lambda item: (item[0], item[1].offset)
+        ):
+            h.update(f"\x00R{addr}:{reloc.offset}:{reloc.rtype.value}:{reloc.symbol}".encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # Section queries

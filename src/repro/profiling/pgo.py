@@ -13,9 +13,10 @@ are multiplicatively perturbed before being handed to the compiler.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import ir
 from repro.ir import cfg as ir_cfg
@@ -43,6 +44,37 @@ class IRProfile:
             (f for f, c in self.call_counts.items() if c > threshold),
             key=lambda f: -self.call_counts[f],
         )
+
+    def digest(self) -> str:
+        """SHA-256 over the full profile content, bit-exact on counts.
+
+        Part of every codegen action's cache key: the profile steers
+        block layout, so two actions over the same module with
+        different profiles must never share a cache entry (the
+        in-memory cache never outlived one profile; a persistent one
+        does).  Floats are hashed via ``float.hex()`` -- exact, no
+        formatting rounding.  Memoized: profiles are built once and
+        never mutated afterwards by the pipeline.
+        """
+        memo = getattr(self, "_digest_memo", None)
+        if memo is not None:
+            return memo
+        h = hashlib.sha256()
+        for func in sorted(self.edges):
+            h.update(b"\x00E")
+            h.update(func.encode())
+            for (src, dst), count in sorted(self.edges[func].items()):
+                h.update(f"{src}:{dst}:{float(count).hex()};".encode())
+        for func in sorted(self.blocks):
+            h.update(b"\x00B")
+            h.update(func.encode())
+            for bb_id, count in sorted(self.blocks[func].items()):
+                h.update(f"{bb_id}:{float(count).hex()};".encode())
+        for func in sorted(self.call_counts):
+            h.update(f"\x00C{func}:{float(self.call_counts[func]).hex()}".encode())
+        digest = h.hexdigest()
+        object.__setattr__(self, "_digest_memo", digest)
+        return digest
 
     def apply_drift(
         self, drift: float, seed: int = 0, dropout: Optional[float] = None

@@ -28,7 +28,14 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lbr-branches", type=int, default=400_000,
                         help="profiling run length in taken branches")
     parser.add_argument("--pgo-steps", type=int, default=200_000)
-    parser.add_argument("--workers", type=int, default=72)
+    parser.add_argument("--workers", type=int, default=72,
+                        help="simulated remote build pool size")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="real worker processes for codegen/layout "
+                             "(default: min(--workers, CPU count))")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent action-cache directory; falls back to "
+                             "$REPRO_CACHE_DIR, else in-memory only")
     parser.add_argument("--enforce-ram", action="store_true",
                         help="apply the per-action RAM limit (remote builds)")
 
@@ -39,6 +46,8 @@ def _config(args) -> PipelineConfig:
         lbr_branches=args.lbr_branches,
         pgo_steps=args.pgo_steps,
         workers=args.workers,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
         enforce_ram=args.enforce_ram,
     )
 

@@ -61,6 +61,7 @@ class TestDisassembly:
         disassemble(bm.executable, meter=lite, lite_names=some)
         assert lite.peak_bytes < full.peak_bytes
 
+    @pytest.mark.slow
     def test_embedded_jump_tables_marked_non_simple(self, pipeline_config):
         program = generate_workload(PRESETS["spanner"], scale=0.0008, seed=2)
         pipe = PropellerPipeline(program, pipeline_config)
@@ -133,6 +134,7 @@ class TestOptimizer:
         ]
         assert moved
 
+    @pytest.mark.slow
     def test_lite_processes_fewer_functions(self, setup):
         _pipe, res, bm = setup
         full = run_bolt(bm.executable, res.perf, BoltOptions(lite=False))
@@ -162,17 +164,20 @@ class TestFailureModes:
         bm = pipe.build_bolt_input(res.ir_profile)
         return bm, res
 
+    @pytest.mark.slow
     def test_huge_binary_fails_during_rewrite(self):
         bm, res = self._bolt_for("superroot", scale=0.0004)
         with pytest.raises(BoltError, match="eh_frame"):
             run_bolt(bm.executable, res.perf)
 
+    @pytest.mark.slow
     def test_rseq_binary_crashes_at_startup(self):
         bm, res = self._bolt_for("spanner", scale=0.0008)
         result = run_bolt(bm.executable, res.perf)
         with pytest.raises(BoltStartupCrash, match="rseq"):
             check_startup(result.executable)
 
+    @pytest.mark.slow
     def test_fips_binary_crashes_at_startup(self):
         bm, res = self._bolt_for("bigtable", scale=0.0008)
         result = run_bolt(bm.executable, res.perf)
@@ -184,6 +189,7 @@ class TestFailureModes:
         result = run_bolt(bm.executable, res.perf)
         check_startup(result.executable)  # must not raise
 
+    @pytest.mark.slow
     def test_propeller_binary_unaffected_by_features(self):
         # Propeller relinks rather than rewrites: rseq/FIPS still work.
         program = generate_workload(PRESETS["spanner"], scale=0.0008, seed=1)

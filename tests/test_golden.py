@@ -1,0 +1,82 @@
+"""Golden-file regression tests for the layout-critical encodings.
+
+These pin the exact ExtTSP cluster order and the exact BB-address-map
+byte encoding produced for one fixed-seed synthetic program.  Unlike
+the shape tests, any change to the layout algorithm or the metadata
+encoding -- intended or not -- shows up here as a reviewable diff.
+
+To regenerate after an intended change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+
+and commit the updated files under ``tests/golden/``.
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, PropellerPipeline
+from repro.elf import SectionKind
+from repro.synth import PRESETS, generate_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN", "").strip())
+
+#: Everything below is pinned to this exact workload and configuration;
+#: changing either is a golden-file regeneration, not a test fix.
+SEED = 7
+PRESET = "531.deepsjeng"
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def golden_pipeline():
+    program = generate_workload(PRESETS[PRESET], scale=SCALE, seed=SEED)
+    config = PipelineConfig(
+        seed=SEED, lbr_branches=60_000, lbr_period=31, pgo_steps=30_000,
+        workers=72, enforce_ram=False,
+    )
+    return PropellerPipeline(program, config).run()
+
+
+def _check(name: str, produced: str) -> None:
+    path = GOLDEN_DIR / name
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(produced)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden file {path}; run with REPRO_REGEN_GOLDEN=1 to create it"
+    )
+    expected = path.read_text()
+    assert produced == expected, (
+        f"{name} drifted from the golden file; if the change is intended, "
+        f"regenerate with REPRO_REGEN_GOLDEN=1 and review the diff"
+    )
+
+
+class TestGolden:
+    def test_exttsp_cluster_order(self, golden_pipeline):
+        """The per-function cluster orders WPA computed via ExtTSP."""
+        clusters = golden_pipeline.wpa_result.clusters
+        lines = [
+            f"{fn} " + "|".join(",".join(map(str, c)) for c in clusters[fn])
+            for fn in sorted(clusters)
+        ]
+        _check("exttsp_clusters.txt", "\n".join(lines) + "\n")
+
+    def test_symbol_order(self, golden_pipeline):
+        """The global symbol order fed to the relink."""
+        order = golden_pipeline.wpa_result.symbol_order
+        _check("symbol_order.txt", "\n".join(order) + "\n")
+
+    def test_bbaddrmap_encoding(self, golden_pipeline):
+        """The exact bytes of the metadata binary's BB address map."""
+        raw = golden_pipeline.metadata.executable.section_bytes(SectionKind.BB_ADDR_MAP)
+        assert raw, "metadata binary lost its BB address map section"
+        _check("bbaddrmap.hex", "\n".join(textwrap.wrap(raw.hex(), 64)) + "\n")

@@ -15,6 +15,8 @@ from repro.hwmodel.frontend import DEFAULT_PARAMS
 from repro.profiling import generate_trace
 from repro.synth import PRESETS, generate_workload
 
+pytestmark = [pytest.mark.slow, pytest.mark.integration]
+
 
 @pytest.fixture(scope="module")
 def world():

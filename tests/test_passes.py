@@ -194,6 +194,7 @@ class TestInlining:
 
 
 class TestPipelineIntegration:
+    @pytest.mark.slow
     def test_inline_hot_flag(self, tiny_program):
         from repro.core.pipeline import PipelineConfig, PropellerPipeline
 

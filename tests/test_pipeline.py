@@ -82,6 +82,7 @@ class TestRun:
 
 
 class TestDeterminism:
+    @pytest.mark.slow
     def test_same_seed_same_binaries(self, small_program, pipeline_config):
         a = PropellerPipeline(small_program, pipeline_config).run()
         b = PropellerPipeline(small_program, pipeline_config).run()
@@ -98,6 +99,7 @@ class TestBoltInput:
         # Codegen actions replay from the Phase 2 cache.
         assert all(r == len(small_program.modules) for r in [len(bm.objects)])
 
+    @pytest.mark.slow
     def test_bm_size_overhead_band(self, small_program, pipeline_config):
         """§5.3: BOLT metadata binaries are 20-60% larger than baseline."""
         pipe = PropellerPipeline(small_program, pipeline_config)

@@ -98,6 +98,8 @@ class TestPlanner:
 
 
 class TestEndToEnd:
+    @pytest.mark.slow
+    @pytest.mark.integration
     def test_pipeline_with_prefetches(self, small_program):
         config = PipelineConfig(
             lbr_branches=120_000, lbr_period=31, pgo_steps=60_000,
@@ -115,6 +117,8 @@ class TestEndToEnd:
             for target in block.prefetch_targets:
                 assert target in entries
 
+    @pytest.mark.slow
+    @pytest.mark.integration
     def test_prefetch_does_not_regress(self, small_program):
         from repro.hwmodel import simulate_frontend
         from repro.hwmodel.frontend import DEFAULT_PARAMS

@@ -1,0 +1,196 @@
+"""Tests for the execution layer: process pool + persistent action cache.
+
+The invariant under test throughout is the determinism contract:
+``jobs`` and a warm persistent cache may change how fast a result is
+produced, never what is produced.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.buildsys import BuildSystem
+from repro.buildsys.build import ActionCache, ResourceLimitExceeded, _CacheEntry
+from repro.core.pipeline import PipelineConfig, PropellerPipeline
+from repro.runtime import (
+    CACHE_DIR_ENV,
+    ParallelExecutor,
+    PersistentActionStore,
+    default_jobs,
+    resolve_cache_dir,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _compute_pair(a, b):
+    """Batch compute fn: (value, cost_seconds, peak_memory)."""
+    return a + b, float(a), b
+
+
+class TestDefaultJobs:
+    def test_caps_at_cpu_count(self):
+        assert default_jobs(10_000) == (os.cpu_count() or 1)
+
+    def test_one_means_serial(self):
+        assert default_jobs(1) == 1
+
+    def test_never_below_one(self):
+        assert default_jobs(0) == 1
+
+
+class TestParallelExecutor:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+    def test_serial_runs_inline(self):
+        ex = ParallelExecutor(1)
+        assert not ex.parallel
+        assert ex.map(_square, [(i,) for i in range(5)]) == [0, 1, 4, 9, 16]
+        assert ex._pool is None  # no pool was ever created
+
+    def test_parallel_preserves_order(self):
+        with ParallelExecutor(2) as ex:
+            assert ex.map(_square, [(i,) for i in range(20)]) == [
+                i * i for i in range(20)
+            ]
+
+    def test_tiny_batch_stays_inline(self):
+        ex = ParallelExecutor(2)
+        assert ex.map(_square, [(3,)]) == [9]
+        assert ex._pool is None
+        ex.close()
+
+
+class TestPersistentStore:
+    def test_roundtrip(self, tmp_path):
+        store = PersistentActionStore(tmp_path)
+        key = "ab" * 32
+        assert store.load(key) is None
+        store.store(key, {"answer": 42})
+        assert key in store
+        assert store.load(key) == {"answer": 42}
+        assert len(store) == 1
+
+    def test_rejects_non_digest_keys(self, tmp_path):
+        store = PersistentActionStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.store("../escape", 1)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = PersistentActionStore(tmp_path)
+        key = "cd" * 32
+        store.store(key, [1, 2, 3])
+        path = store._path(key)
+        path.write_bytes(b"not a pickle")
+        assert store.load(key) is None
+
+    def test_clear(self, tmp_path):
+        store = PersistentActionStore(tmp_path)
+        store.store("ef" * 32, 1)
+        store.clear()
+        assert len(store) == 0
+
+    def test_resolve_cache_dir_precedence(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert resolve_cache_dir(None) is None
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir(None) == tmp_path / "env"
+        assert resolve_cache_dir(tmp_path / "explicit") == tmp_path / "explicit"
+
+
+class TestActionCacheWithDisk:
+    def test_disk_hit_survives_new_cache(self, tmp_path):
+        store = PersistentActionStore(tmp_path)
+        first = ActionCache(store=store)
+        first.store("11" * 32, _CacheEntry(value="artifact", cost_seconds=2.0, peak_memory=10))
+        # A brand-new in-memory cache over the same store sees the entry.
+        second = ActionCache(store=store)
+        entry = second.lookup("11" * 32)
+        assert entry is not None and entry.value == "artifact"
+        assert second.stats.hits == 1 and second.stats.disk_hits == 1
+
+    def test_evict_all_clears_disk(self, tmp_path):
+        store = PersistentActionStore(tmp_path)
+        cache = ActionCache(store=store)
+        cache.store("22" * 32, _CacheEntry(value=1, cost_seconds=1.0, peak_memory=0))
+        cache.evict_all()
+        assert ActionCache(store=store).lookup("22" * 32) is None
+
+
+class TestRunBatch:
+    def _items(self, n):
+        return [([f"k{i}"], _compute_pair, (i, i + 1)) for i in range(n)]
+
+    def test_serial_and_parallel_agree(self):
+        serial = BuildSystem(workers=4, enforce_ram=False)
+        parallel = BuildSystem(workers=4, enforce_ram=False)
+        with ParallelExecutor(2) as ex:
+            got_p = parallel.run_batch("t", self._items(8), executor=ex)
+        got_s = serial.run_batch("t", self._items(8))
+        assert [r.value for r in got_p] == [r.value for r in got_s] == [
+            2 * i + 1 for i in range(8)
+        ]
+        assert [r.key for r in got_p] == [r.key for r in got_s]
+        assert not any(r.cache_hit for r in got_s)
+
+    def test_second_batch_hits(self):
+        bs = BuildSystem(workers=4, enforce_ram=False)
+        bs.run_batch("t", self._items(4))
+        again = bs.run_batch("t", self._items(4))
+        assert all(r.cache_hit for r in again)
+
+    def test_ram_limit_enforced(self):
+        bs = BuildSystem(workers=4, ram_limit=5, enforce_ram=True)
+        with pytest.raises(ResourceLimitExceeded):
+            bs.run_batch("t", [(["big"], _compute_pair, (1, 10))])
+
+
+@pytest.fixture(scope="module")
+def micro_program():
+    """Smallest workload that still has several modules and hot functions."""
+    from repro.synth import PRESETS, generate_workload
+
+    return generate_workload(PRESETS["531.deepsjeng"], scale=0.15, seed=7)
+
+
+class TestPipelineDeterminism:
+    """Tier-1 smoke of the acceptance invariants (micro workload)."""
+
+    def _config(self, **kw):
+        return PipelineConfig(
+            seed=7, lbr_branches=24_000, lbr_period=31, pgo_steps=10_000,
+            workers=72, enforce_ram=False, **kw,
+        )
+
+    def test_parallel_matches_serial_digest(self, micro_program):
+        serial = PropellerPipeline(micro_program, self._config(jobs=1)).run()
+        parallel = PropellerPipeline(micro_program, self._config(jobs=2)).run()
+        assert serial.digest() == parallel.digest()
+
+    def test_warm_cache_same_digest_less_simulated_time(self, micro_program, tmp_path):
+        cfg = self._config(jobs=1, cache_dir=str(tmp_path))
+        cold = PropellerPipeline(micro_program, cfg).run()
+        warm = PropellerPipeline(micro_program, cfg).run()
+        assert cold.digest() == warm.digest()
+        # Only the recorded wall-clock may change -- and it must drop.
+        assert sum(warm.phase_seconds.values()) < sum(cold.phase_seconds.values())
+        # Every artifact of the warm run was replayed from disk.
+        assert warm.optimized.backends.cache_hits > 0
+
+    def test_cache_dir_env_var(self, micro_program, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        pipe = PropellerPipeline(micro_program, self._config(jobs=1))
+        store = pipe.buildsys.cache.persistent_store
+        assert store is not None and store.root == tmp_path
+
+
+def test_cache_entry_pickles():
+    entry = _CacheEntry(value=(1, "x"), cost_seconds=0.5, peak_memory=7)
+    assert pickle.loads(pickle.dumps(entry)) == entry

@@ -24,6 +24,7 @@ class TestStrip:
         stripped, saved = strip_executable(pipeline_result.baseline.executable)
         assert saved >= 0
 
+    @pytest.mark.slow
     def test_bolt_binary_cannot_strip(self, small_program, pipeline_config):
         pipe = PropellerPipeline(small_program, pipeline_config)
         result = pipe.run()

@@ -114,6 +114,7 @@ class TestAnalyze:
         for fn, clusters in result.clusters.items():
             assert len(clusters[0]) == program.function(fn).num_blocks
 
+    @pytest.mark.slow
     def test_deterministic(self, metadata_exe, perf):
         a = analyze(metadata_exe, perf)
         b = analyze(metadata_exe, perf)
@@ -122,6 +123,7 @@ class TestAnalyze:
 
 
 class TestInterproc:
+    @pytest.mark.slow
     def test_interproc_clusters_valid(self, metadata_exe, perf, program):
         result = analyze(metadata_exe, perf, WPAOptions(interproc=True))
         assert result.clusters
@@ -131,6 +133,7 @@ class TestInterproc:
             flat = [bb for c in clusters for bb in c]
             assert len(flat) == len(set(flat))
 
+    @pytest.mark.slow
     def test_interproc_symbols_match_cluster_naming(self, metadata_exe, perf):
         result = analyze(metadata_exe, perf, WPAOptions(interproc=True))
         for symbol in result.symbol_order:
