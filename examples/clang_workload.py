@@ -27,12 +27,9 @@ def main() -> None:
     profile = pipe.collect_pgo_profile()
     baseline = pipe.build(
         "pgo", pipe.baseline_options(profile),
-        pipe._link_options("base.out", keep_bb_addr_map=False),
+        pipe.link_options("base.out", keep_bb_addr_map=False),
     )
-    metadata = pipe.build(
-        "pgo+map", pipe.metadata_options(profile),
-        pipe._link_options("metadata.out", keep_bb_addr_map=True),
-    )
+    metadata = pipe.build_metadata(profile)
     map_bytes = metadata.executable.section_sizes()["bb_addr_map"]
     print(f"phase 1+2: {len(baseline.objects)} objects compiled; "
           f"metadata binary carries {format_bytes(map_bytes)} of BB address maps "

@@ -37,6 +37,9 @@ _FACADE = {
     "BuildSystem": ("repro.buildsys", "BuildSystem"),
     "ParallelExecutor": ("repro.runtime", "ParallelExecutor"),
     "PersistentActionStore": ("repro.runtime", "PersistentActionStore"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "Counters": ("repro.obs", "Counters"),
+    "PipelineReport": ("repro.obs", "PipelineReport"),
 }
 
 __all__ = ["__version__", *sorted(_FACADE)]

@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs import Counters
 from repro.runtime import ParallelExecutor, PersistentActionStore, resolve_cache_dir
 
 #: Simulated cost of replaying a cached action: fetching the stored
@@ -126,10 +127,17 @@ class ActionCache:
     earlier ones.  An unreadable disk entry degrades to a miss.
     """
 
-    def __init__(self, store: Optional[PersistentActionStore] = None) -> None:
+    def __init__(
+        self,
+        store: Optional[PersistentActionStore] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
         self._entries: Dict[str, _CacheEntry] = {}
         self._store = store
         self.stats = CacheStats()
+        #: Metrics sink; mirrors :attr:`stats` under ``cache.*`` names
+        #: so pipeline reports see cache behaviour without reaching in.
+        self.counters = counters if counters is not None else Counters()
 
     @property
     def persistent_store(self) -> Optional[PersistentActionStore]:
@@ -148,11 +156,14 @@ class ActionCache:
             if isinstance(disk, _CacheEntry):
                 self._entries[key] = disk
                 self.stats.disk_hits += 1
+                self.counters.incr("cache.disk_hits")
                 entry = disk
         if entry is None:
             self.stats.misses += 1
+            self.counters.incr("cache.misses")
         else:
             self.stats.hits += 1
+            self.counters.incr("cache.hits")
         return entry
 
     def store(self, key: str, entry: _CacheEntry) -> None:
@@ -183,6 +194,8 @@ class BuildSystem:
         persistent on-disk store rooted there, so a later process with
         identical action inputs replays this run's outputs.  ``None``
         (the default) keeps the cache in-memory only.
+    :param counters: metrics sink shared with the cache, the store and
+        the scheduler; a fresh :class:`~repro.obs.Counters` by default.
     """
 
     def __init__(
@@ -191,14 +204,19 @@ class BuildSystem:
         ram_limit: int = 12 << 30,
         enforce_ram: bool = True,
         cache_dir: "Optional[str | os.PathLike]" = None,
+        counters: Optional[Counters] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.ram_limit = ram_limit
         self.enforce_ram = enforce_ram
-        store = PersistentActionStore(cache_dir) if cache_dir is not None else None
-        self.cache = ActionCache(store=store)
+        self.counters = counters if counters is not None else Counters()
+        store = (
+            PersistentActionStore(cache_dir, counters=self.counters)
+            if cache_dir is not None else None
+        )
+        self.cache = ActionCache(store=store, counters=self.counters)
 
     # -- cache passthroughs -------------------------------------------
 
@@ -242,6 +260,7 @@ class BuildSystem:
             )
         value, cost_seconds, peak_memory = compute()
         if remote and self.enforce_ram and peak_memory > self.ram_limit:
+            self.counters.incr("ram.rejections")
             raise ResourceLimitExceeded(kind, needed=peak_memory, limit=self.ram_limit)
         self.cache.store(
             key, _CacheEntry(value=value, cost_seconds=cost_seconds,
@@ -281,6 +300,10 @@ class BuildSystem:
         keys = [action_key(kind, *key_parts) for key_parts, _fn, _args in items]
         entries = [self.cache.lookup(key) for key in keys]
         miss_idx = [i for i, entry in enumerate(entries) if entry is None]
+        self.counters.incr("executor.batches")
+        self.counters.incr("executor.batch_tasks", len(items))
+        self.counters.incr("executor.batch_misses", len(miss_idx))
+        self.counters.max_gauge("executor.max_queue_depth", len(miss_idx))
         if miss_idx:
             tasks = [(items[i][1], items[i][2]) for i in miss_idx]
             if executor is not None:
@@ -289,6 +312,7 @@ class BuildSystem:
                 computed = [fn(*args) for fn, args in tasks]
             for i, (value, cost_seconds, peak_memory) in zip(miss_idx, computed):
                 if remote and self.enforce_ram and peak_memory > self.ram_limit:
+                    self.counters.incr("ram.rejections")
                     raise ResourceLimitExceeded(
                         kind, needed=peak_memory, limit=self.ram_limit
                     )
@@ -320,7 +344,7 @@ class BuildSystem:
         """
         from repro.buildsys.scheduler import schedule_phase
 
-        return schedule_phase(actions, workers=self.workers)
+        return schedule_phase(actions, workers=self.workers, counters=self.counters)
 
 
 def _call_compute(fn: Callable[..., Tuple[Any, float, int]], args: tuple):

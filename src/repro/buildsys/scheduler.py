@@ -19,9 +19,10 @@ replays from the cache at :data:`~repro.buildsys.build.CACHE_HIT_SECONDS`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.buildsys.build import ActionResult
+from repro.obs import Counters
 
 
 @dataclass(frozen=True)
@@ -48,14 +49,27 @@ class PhaseReport:
         return self.cpu_seconds / self.wall_seconds if self.wall_seconds else 0.0
 
 
-def schedule_phase(actions: Iterable[ActionResult], workers: int) -> PhaseReport:
-    """Compute the :class:`PhaseReport` for one batch of actions."""
+def schedule_phase(
+    actions: Iterable[ActionResult],
+    workers: int,
+    counters: Optional[Counters] = None,
+) -> PhaseReport:
+    """Compute the :class:`PhaseReport` for one batch of actions.
+
+    ``counters`` (when given) records scheduling metrics: phases seen,
+    the deepest queue any phase presented to the pool, and the pool
+    size -- the Table 5 / Fig. 9 quantities behind the makespan.
+    """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     batch: List[ActionResult] = list(actions)
     cpu_seconds = sum(a.cost_seconds for a in batch)
     longest = max((a.cost_seconds for a in batch), default=0.0)
     wall_seconds = max(longest, cpu_seconds / workers)
+    if counters is not None:
+        counters.incr("scheduler.phases")
+        counters.max_gauge("scheduler.max_queue_depth", len(batch))
+        counters.gauge("scheduler.workers", workers)
     return PhaseReport(
         wall_seconds=wall_seconds,
         cpu_seconds=cpu_seconds,

@@ -19,6 +19,7 @@ phase, which is what the paper's Figures 4, 5, 9 and Table 5 report.
 from __future__ import annotations
 
 import hashlib
+import warnings
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -27,10 +28,19 @@ from repro import ir
 from repro.analysis import MemoryMeter
 from repro.buildsys import BuildSystem, PhaseReport
 from repro.codegen import BBSectionsMode, CodeGenOptions, compile_action
-from repro.core.wpa import WPAOptions, WPAResult, analyze
+from repro.core import wpa as wpa_mod
+from repro.core.wpa import WPAOptions, WPAResult
 from repro.elf import Executable, ObjectFile
 from repro.ir.digest import module_digest
 from repro.linker import LinkOptions, LinkResult, LinkStats, link
+from repro.obs import (
+    NULL_TRACER,
+    BuildStat,
+    Counters,
+    PhaseStat,
+    PipelineReport,
+    Tracer,
+)
 from repro.profiling import (
     IRProfile,
     PerfData,
@@ -75,6 +85,12 @@ class PipelineConfig:
     #: to the ``REPRO_CACHE_DIR`` environment variable; when neither is
     #: set, caching is in-memory only and runs start cold, as before.
     cache_dir: Optional[str] = None
+    #: Record phase/batch/action spans (see :mod:`repro.obs`).  Off by
+    #: default: the pipeline then runs against the shared no-op tracer
+    #: and the instrumented paths cost nothing.  Tracing never changes
+    #: any artifact (``PipelineResult.digest()`` is identical either
+    #: way); counters are always collected.
+    trace: bool = False
     wpa: WPAOptions = WPAOptions()
     hugepages: bool = False
     # Cost-model rates (simulated seconds per unit of work).
@@ -151,6 +167,9 @@ class PipelineResult:
     perf: PerfData
     wpa_result: WPAResult
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Metrics accumulated by the run (cache, scheduler, profile
+    #: quality); excluded from :meth:`digest` like all accounting.
+    counters: Counters = field(default_factory=Counters)
 
     @property
     def pct_hot_objects(self) -> float:
@@ -177,46 +196,114 @@ class PipelineResult:
         h.update(self.ir_profile.digest().encode())
         return h.hexdigest()
 
+    def report(self) -> PipelineReport:
+        """The run as a typed, JSON-able :class:`~repro.obs.PipelineReport`.
+
+        This is the supported programmatic surface: :meth:`summary` is
+        rendered from it, ``--metrics-out`` serializes it, and its JSON
+        layout is schema-versioned.  Everything in it is accounting --
+        the artifacts themselves stay on this result object.
+        """
+        def build_stat(name: str, outcome: BuildOutcome) -> BuildStat:
+            return BuildStat(
+                name=name,
+                wall_seconds=outcome.wall_seconds,
+                backend_seconds=outcome.backends.wall_seconds,
+                link_seconds=outcome.link_seconds,
+                actions=outcome.backends.actions,
+                cache_hits=outcome.backends.cache_hits,
+                cold_cache_hits=outcome.cold_cache_hits,
+                hot_modules=outcome.hot_modules,
+                peak_memory_bytes=max(
+                    outcome.backends.peak_action_memory,
+                    outcome.link_stats.peak_memory_bytes,
+                ),
+                binary_size=outcome.executable.total_size,
+            )
+
+        phase_peaks = {
+            "wpa_convert": self.wpa_result.stats.peak_memory_bytes,
+            "lbr_profile_run": self.perf.size_bytes,
+            "prop_backends": self.optimized.backends.peak_action_memory,
+            "prop_link": self.optimized.link_stats.peak_memory_bytes,
+            "opt_build": max(self.baseline.backends.peak_action_memory,
+                             self.baseline.link_stats.peak_memory_bytes),
+            "metadata_build": max(self.metadata.backends.peak_action_memory,
+                                  self.metadata.link_stats.peak_memory_bytes),
+        }
+        snapshot = self.counters.snapshot()
+        return PipelineReport(
+            program=self.program.name,
+            modules=len(self.program.modules),
+            hot_functions=len(self.wpa_result.hot_functions),
+            builds=(
+                build_stat("baseline", self.baseline),
+                build_stat("metadata", self.metadata),
+                build_stat("optimized", self.optimized),
+            ),
+            phases=tuple(
+                PhaseStat(name=name, sim_seconds=seconds,
+                          peak_memory_bytes=phase_peaks.get(name, 0))
+                for name, seconds in self.phase_seconds.items()
+            ),
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+        )
+
     def summary(self) -> str:
-        w = self.wpa_result
+        r = self.report()
+        base, meta, opt = r.build("baseline"), r.build("metadata"), r.build("optimized")
         lines = [
-            f"program: {self.program.name}",
-            f"modules: {len(self.program.modules)}  "
-            f"hot (re-codegen'd): {self.optimized.hot_modules} "
-            f"({100 * self.pct_hot_objects:.0f}%)",
-            f"hot functions: {len(w.hot_functions)}",
-            f"baseline build: {self.baseline.wall_seconds:.2f}s "
-            f"(backends {self.baseline.backends.wall_seconds:.2f}s, "
-            f"link {self.baseline.link_seconds:.2f}s)",
-            f"propeller phase 4: {self.optimized.wall_seconds:.2f}s "
-            f"(backends {self.optimized.backends.wall_seconds:.2f}s, "
-            f"relink {self.optimized.link_seconds:.2f}s, "
-            f"{self.optimized.cold_cache_hits} cold objects from cache)",
-            f"wpa peak memory: {w.stats.peak_memory_bytes / (1 << 20):.1f} MB",
-            f"binary sizes: base {self.baseline.executable.total_size}, "
-            f"metadata {self.metadata.executable.total_size}, "
-            f"optimized {self.optimized.executable.total_size}",
+            f"program: {r.program}",
+            f"modules: {r.modules}  "
+            f"hot (re-codegen'd): {opt.hot_modules} "
+            f"({100 * r.pct_hot_modules:.0f}%)",
+            f"hot functions: {r.hot_functions}",
+            f"baseline build: {base.wall_seconds:.2f}s "
+            f"(backends {base.backend_seconds:.2f}s, "
+            f"link {base.link_seconds:.2f}s)",
+            f"propeller phase 4: {opt.wall_seconds:.2f}s "
+            f"(backends {opt.backend_seconds:.2f}s, "
+            f"relink {opt.link_seconds:.2f}s, "
+            f"{opt.cold_cache_hits} cold objects from cache)",
+            f"wpa peak memory: {r.phase('wpa_convert').peak_memory_bytes / (1 << 20):.1f} MB",
+            f"binary sizes: base {base.binary_size}, "
+            f"metadata {meta.binary_size}, "
+            f"optimized {opt.binary_size}",
         ]
         return "\n".join(lines)
 
 
 class PropellerPipeline:
-    """Drives Phases 1-4 for one program."""
+    """Drives Phases 1-4 for one program.
+
+    :param tracer: span sink for this run (see :mod:`repro.obs`).
+        ``None`` derives it from ``config.trace``: a fresh recording
+        :class:`~repro.obs.Tracer` when tracing is on, the shared no-op
+        tracer otherwise.  Counters are always collected; they live on
+        the build system (``self.counters``) so externally supplied
+        build systems keep their own accounting.
+    """
 
     def __init__(
         self,
         program: ir.Program,
         config: PipelineConfig = PipelineConfig(),
         buildsys: Optional[BuildSystem] = None,
+        tracer: "Optional[Tracer]" = None,
     ):
         self.program = program
         self.config = config
+        if tracer is None:
+            tracer = Tracer() if config.trace else NULL_TRACER
+        self.tracer = tracer
         self.buildsys = buildsys or BuildSystem(
             workers=config.workers,
             ram_limit=config.ram_limit,
             enforce_ram=config.enforce_ram,
             cache_dir=resolve_cache_dir(config.cache_dir),
         )
+        self.counters: Counters = self.buildsys.counters
         self.jobs = config.jobs if config.jobs is not None else default_jobs(config.workers)
         self._digests: Dict[str, str] = {}
         # id -> (options, signature); the options reference keeps the
@@ -231,7 +318,13 @@ class PropellerPipeline:
     @property
     def executor(self) -> Optional[ParallelExecutor]:
         """The process pool backend actions fan out over (None = serial)."""
-        return shared_executor(self.jobs) if self.jobs > 1 else None
+        if self.jobs <= 1:
+            return None
+        executor = shared_executor(self.jobs)
+        # Route the shared pool's real-execution metrics ("pool.*") to
+        # this pipeline's sink while it is the active user.
+        executor.counters = self.counters
+        return executor
 
     def _digest(self, module: ir.Module) -> str:
         digest = self._digests.get(module.name)
@@ -292,30 +385,41 @@ class PropellerPipeline:
                 (module, options, config.codegen_fixed_seconds,
                  config.codegen_seconds_per_instr),
             ))
-        actions = self.buildsys.run_batch("codegen", items, executor=self.executor)
-        objects: List[ObjectFile] = [result.value.obj for result in actions]
-        cold_hits = 0
-        if per_module_options is not None:
-            cold_hits = sum(
-                1 for module, result in zip(self.program.modules, actions)
-                if result.cache_hit and module.name not in hot_names
-            )
-        backends = self.buildsys.schedule(actions)
-
-        def _link_compute():
-            link_result = link(objects, link_options, meter=MemoryMeter())
-            seconds = link_result.stats.cost_units * config.link_seconds_per_byte
-            return link_result, seconds, link_result.stats.peak_memory_bytes
-
-        # The inputs of the link are exactly the backend outputs (named
-        # by their action keys) and the link options; the final link
-        # runs on the submitting machine (remote=False), outside the
-        # per-action RAM budget (§3.5).
-        inputs = hashlib.sha256("\n".join(a.key for a in actions).encode()).hexdigest()
-        link_action = self.buildsys.run_action(
-            "link", [inputs, _link_options_signature(link_options)],
-            _link_compute, remote=False,
+        build_span = self.tracer.span(
+            f"build:{link_options.output_name}", category="build", tag=tag
         )
+        with build_span:
+            with self.tracer.span("codegen-batch", category="batch") as sp:
+                actions = self.buildsys.run_batch("codegen", items, executor=self.executor)
+                backends = self.buildsys.schedule(actions)
+                sp.advance(backends.wall_seconds)
+                sp.note(actions=backends.actions, cache_hits=backends.cache_hits,
+                        hot_modules=hot_modules)
+            objects: List[ObjectFile] = [result.value.obj for result in actions]
+            cold_hits = 0
+            if per_module_options is not None:
+                cold_hits = sum(
+                    1 for module, result in zip(self.program.modules, actions)
+                    if result.cache_hit and module.name not in hot_names
+                )
+
+            def _link_compute():
+                link_result = link(objects, link_options, meter=MemoryMeter())
+                seconds = link_result.stats.cost_units * config.link_seconds_per_byte
+                return link_result, seconds, link_result.stats.peak_memory_bytes
+
+            # The inputs of the link are exactly the backend outputs (named
+            # by their action keys) and the link options; the final link
+            # runs on the submitting machine (remote=False), outside the
+            # per-action RAM budget (§3.5).
+            inputs = hashlib.sha256("\n".join(a.key for a in actions).encode()).hexdigest()
+            with self.tracer.span("link", category="action") as sp:
+                link_action = self.buildsys.run_action(
+                    "link", [inputs, _link_options_signature(link_options)],
+                    _link_compute, remote=False,
+                )
+                sp.advance(link_action.cost_seconds)
+                sp.note(cache_hit=link_action.cache_hit)
         link_result: LinkResult = link_action.value
         return BuildOutcome(
             tag=tag,
@@ -348,15 +452,24 @@ class PropellerPipeline:
             profile = profile.apply_drift(config.pgo_drift, seed=config.seed)
             return profile, config.pgo_steps * config.profile_seconds_per_branch, 0
 
-        action = self.buildsys.run_action(
-            "profile-pgo",
-            [self._program_digest(), str(config.pgo_steps), str(config.seed),
-             float(config.pgo_drift).hex()],
-            _compute,
-            remote=False,
-        )
+        with self.tracer.span("pgo-train", category="action") as sp:
+            action = self.buildsys.run_action(
+                "profile-pgo",
+                [self._program_digest(), str(config.pgo_steps), str(config.seed),
+                 float(config.pgo_drift).hex()],
+                _compute,
+                remote=False,
+            )
+            sp.advance(action.cost_seconds)
+            sp.note(cache_hit=action.cache_hit)
         self._pgo_seconds = action.cost_seconds
-        return action.value
+        profile: IRProfile = action.value
+        # getattr: a persistent-store entry written by an older version
+        # may predate the profile-quality fields.
+        self.counters.gauge("pgo.match_rate", profile.match_rate)
+        self.counters.gauge("pgo.source_entries", getattr(profile, "source_entries", 0))
+        self.counters.gauge("pgo.dropped_entries", getattr(profile, "dropped_entries", 0))
+        return profile
 
     def _collect_lbr(self, metadata_exe: Executable) -> Tuple[PerfData, float, str]:
         """Phase 3 profiled run: deterministic in (binary, run length, seed).
@@ -377,14 +490,21 @@ class PropellerPipeline:
             cost = config.lbr_branches * config.profile_seconds_per_branch
             return perf, cost, perf.size_bytes
 
-        action = self.buildsys.run_action(
-            "profile-lbr",
-            [metadata_exe.content_digest(), str(config.lbr_branches),
-             str(config.lbr_period), str(config.seed + 1)],
-            _compute,
-            remote=False,
-        )
-        return action.value, action.cost_seconds, action.key
+        with self.tracer.span("lbr-sample", category="action") as sp:
+            action = self.buildsys.run_action(
+                "profile-lbr",
+                [metadata_exe.content_digest(), str(config.lbr_branches),
+                 str(config.lbr_period), str(config.seed + 1)],
+                _compute,
+                remote=False,
+            )
+            sp.advance(action.cost_seconds)
+            sp.note(cache_hit=action.cache_hit)
+        perf: PerfData = action.value
+        self.counters.gauge("lbr.samples", perf.num_samples)
+        self.counters.gauge("lbr.records", perf.num_records)
+        self.counters.gauge("lbr.profile_bytes", perf.size_bytes)
+        return perf, action.cost_seconds, action.key
 
     def _analyze(
         self, metadata_exe: Executable, perf: PerfData, perf_key: str
@@ -397,19 +517,36 @@ class PropellerPipeline:
         """
         config = self.config
         executor = self.executor
+        tracer = self.tracer
 
         def _compute():
-            wpa_result = analyze(metadata_exe, perf, config.wpa, executor=executor)
+            wpa_result = wpa_mod.analyze(
+                metadata_exe, perf, config.wpa, executor=executor, tracer=tracer
+            )
             cost = wpa_result.stats.cost_units * config.wpa_seconds_per_unit
             return wpa_result, cost, wpa_result.stats.peak_memory_bytes
 
-        action = self.buildsys.run_action(
-            "wpa",
-            [metadata_exe.content_digest(), perf_key, _wpa_options_signature(config.wpa)],
-            _compute,
-            remote=False,
+        with self.tracer.span("wpa-analyze", category="action") as sp:
+            action = self.buildsys.run_action(
+                "wpa",
+                [metadata_exe.content_digest(), perf_key,
+                 _wpa_options_signature(config.wpa)],
+                _compute,
+                remote=False,
+            )
+            sp.advance(action.cost_seconds)
+            sp.note(cache_hit=action.cache_hit)
+        wpa_result: WPAResult = action.value
+        stats = wpa_result.stats
+        self.counters.gauge(
+            "lbr.record_coverage",
+            1.0 - stats.records_dropped / stats.num_records if stats.num_records else 1.0,
         )
-        return action.value, action.cost_seconds
+        self.counters.gauge("wpa.hot_functions", stats.hot_functions)
+        self.counters.gauge("wpa.dcfg_nodes", stats.dcfg_nodes)
+        self.counters.gauge("wpa.dcfg_edges", stats.dcfg_edges)
+        self.counters.gauge("wpa.peak_memory_bytes", stats.peak_memory_bytes)
+        return wpa_result, action.cost_seconds
 
     def apply_inlining(self, ir_profile: IRProfile):
         """Phase 1 optimization: profile-guided inlining.
@@ -436,7 +573,13 @@ class PropellerPipeline:
     def metadata_options(self, profile: IRProfile) -> CodeGenOptions:
         return CodeGenOptions(ir_profile=profile, bb_addr_map=True)
 
-    def _link_options(self, name: str, **overrides) -> LinkOptions:
+    def link_options(self, name: str, **overrides) -> LinkOptions:
+        """:class:`LinkOptions` for this program, with ``overrides`` applied.
+
+        The public way to derive link options consistent with the
+        pipeline's configuration (entry symbol, features, hugepages) --
+        what the CLI and examples use to drive :meth:`build` directly.
+        """
         base = LinkOptions(
             output_name=name,
             entry_symbol=self.program.entry_function,
@@ -445,40 +588,95 @@ class PropellerPipeline:
         )
         return replace(base, **overrides)
 
+    def _link_options(self, name: str, **overrides) -> LinkOptions:
+        """Deprecated alias of :meth:`link_options` (one release grace)."""
+        warnings.warn(
+            "PropellerPipeline._link_options is deprecated; "
+            "use the public link_options()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.link_options(name, **overrides)
+
+    # ------------------------------------------------------------------
+    # Public stage helpers (what the CLI subcommands are wired from)
+
+    def build_metadata(self, profile: IRProfile) -> BuildOutcome:
+        """Phases 1-2: the BB-address-map metadata build (§3.2)."""
+        return self.build(
+            tag="pgo+map",
+            codegen_options=self.metadata_options(profile),
+            link_options=self.link_options("metadata.out", keep_bb_addr_map=True),
+        )
+
+    def collect_perf(self, profile: Optional[IRProfile] = None) -> PerfData:
+        """Phase 3 sampling: train, build the metadata binary, profile it.
+
+        One public call covering what ``repro.tools profile`` does:
+        returns the LBR :class:`PerfData` for this pipeline's program
+        and configuration (``lbr_branches``, ``lbr_period``, seed).  A
+        pre-collected ``profile`` skips the instrumented training run.
+        """
+        if profile is None:
+            profile = self.collect_pgo_profile()
+        metadata = self.build_metadata(profile)
+        perf, _seconds, _key = self._collect_lbr(metadata.executable)
+        return perf
+
+    def analyze(
+        self, perf: PerfData, profile: Optional[IRProfile] = None
+    ) -> WPAResult:
+        """Phase 3 analysis: WPA of ``perf`` against the metadata binary.
+
+        The ``create_llvm_prof`` analogue as a public method: builds (or
+        replays from cache) the metadata binary and converts the profile
+        into layout directives.  ``perf`` may come from
+        :meth:`collect_perf` or from disk; its content digest keys the
+        cached analysis either way.
+        """
+        if profile is None:
+            profile = self.collect_pgo_profile()
+        metadata = self.build_metadata(profile)
+        result, _seconds = self._analyze(
+            metadata.executable, perf, perf_key=perf.digest()
+        )
+        return result
+
     def run(self) -> PipelineResult:
         """Execute Phases 1-4 and return all artifacts."""
         config = self.config
         times: Dict[str, float] = {}
 
         # Baseline (PGO + ThinLTO equivalent): train, then build.
-        ir_profile = self.collect_pgo_profile()
-        times["pgo_profile_run"] = self._pgo_seconds
-        if config.inline_hot:
-            self.apply_inlining(ir_profile)
-        baseline = self.build(
-            tag="pgo",
-            codegen_options=self.baseline_options(ir_profile),
-            link_options=self._link_options("base.out", keep_bb_addr_map=False),
-        )
+        with self.tracer.span("phase:baseline", category="phase"):
+            ir_profile = self.collect_pgo_profile()
+            times["pgo_profile_run"] = self._pgo_seconds
+            if config.inline_hot:
+                self.apply_inlining(ir_profile)
+            baseline = self.build(
+                tag="pgo",
+                codegen_options=self.baseline_options(ir_profile),
+                link_options=self.link_options("base.out", keep_bb_addr_map=False),
+            )
         times["pgo_instrumented_build"] = baseline.wall_seconds * 0.9  # modelled
         times["opt_build"] = baseline.wall_seconds
 
         # Phase 1 & 2: build with BB address map metadata.
-        metadata = self.build(
-            tag="pgo+map",
-            codegen_options=self.metadata_options(ir_profile),
-            link_options=self._link_options("metadata.out", keep_bb_addr_map=True),
-        )
+        with self.tracer.span("phase:metadata-build", category="phase"):
+            metadata = self.build_metadata(ir_profile)
         times["metadata_build"] = metadata.wall_seconds
 
         # Phase 3: profile the metadata binary and run WPA.
-        perf, lbr_seconds, perf_key = self._collect_lbr(metadata.executable)
+        with self.tracer.span("phase:profile", category="phase"):
+            perf, lbr_seconds, perf_key = self._collect_lbr(metadata.executable)
         times["lbr_profile_run"] = lbr_seconds
-        wpa_result, wpa_seconds = self._analyze(metadata.executable, perf, perf_key)
+        with self.tracer.span("phase:wpa", category="phase"):
+            wpa_result, wpa_seconds = self._analyze(metadata.executable, perf, perf_key)
         times["wpa_convert"] = wpa_seconds
 
         # Phase 4: re-codegen hot modules with clusters, reuse cold objects.
-        optimized = self.relink(ir_profile, wpa_result)
+        with self.tracer.span("phase:relink", category="phase"):
+            optimized = self.relink(ir_profile, wpa_result)
         times["prop_backends"] = optimized.backends.wall_seconds
         times["prop_link"] = optimized.link_seconds
 
@@ -492,6 +690,7 @@ class PropellerPipeline:
             perf=perf,
             wpa_result=wpa_result,
             phase_seconds=times,
+            counters=self.counters,
         )
 
     def relink(self, ir_profile: IRProfile, wpa_result: WPAResult) -> BuildOutcome:
@@ -526,7 +725,7 @@ class PropellerPipeline:
         return self.build(
             tag="pgo+map",  # cold modules replay their Phase 2 action
             codegen_options=self.metadata_options(ir_profile),
-            link_options=self._link_options(
+            link_options=self.link_options(
                 "propeller.out",
                 symbol_order=wpa_result.symbol_order,
                 keep_bb_addr_map=False,
@@ -540,7 +739,7 @@ class PropellerPipeline:
         return self.build(
             tag="pgo+map",
             codegen_options=self.metadata_options(ir_profile),
-            link_options=self._link_options(
+            link_options=self.link_options(
                 "bolt-metadata.out", keep_bb_addr_map=False, emit_relocs=True
             ),
         )

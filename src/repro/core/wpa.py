@@ -37,6 +37,7 @@ from repro.core.exttsp import (
 )
 from repro.core.funcorder import hfsort_order
 from repro.elf import Executable, SectionKind, bbaddrmap
+from repro.obs import NULL_TRACER
 from repro.profiling import PerfData
 
 #: Modelled bytes per in-memory structure (for peak-memory accounting).
@@ -516,6 +517,7 @@ def analyze(
     options: WPAOptions = WPAOptions(),
     meter: Optional[MemoryMeter] = None,
     executor: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> WPAResult:
     """Run profile conversion and whole-program analysis.
 
@@ -524,16 +526,25 @@ def analyze(
     processes; it never changes the result, only how fast the analysis
     runs.  Inter-procedural layout is one whole-program solve and
     always runs in-process.
+
+    ``tracer`` (the :class:`repro.obs.Tracer` contract) records the
+    three internal stages -- address-map indexing, DCFG construction,
+    layout -- as nested spans; the default records nothing.
     """
     own = meter if meter is not None else MemoryMeter()
+    trace = tracer if tracer is not None else NULL_TRACER
     stats = WPAStats(num_samples=perf.num_samples, profile_bytes=perf.size_bytes)
 
-    index = _AddressMapIndex(exe)
+    with trace.span("wpa:index", category="wpa") as sp:
+        index = _AddressMapIndex(exe)
+        sp.note(entries=index.num_entries)
     stats.bbmap_entries = index.num_entries
     own.allocate(index.num_entries * _BBMAP_INDEX_ENTRY_BYTES, "wpa-bbmap")
     own.allocate(perf.size_bytes, "wpa-profile")
 
-    dcfg, call_edges, block_call_edges = _build_dcfg(index, perf, stats)
+    with trace.span("wpa:dcfg", category="wpa") as sp:
+        dcfg, call_edges, block_call_edges = _build_dcfg(index, perf, stats)
+        sp.note(records=stats.num_records, dropped=stats.records_dropped)
     stats.dcfg_nodes = sum(len(fd.block_counts) for fd in dcfg.values())
     stats.dcfg_edges = sum(fd.num_edges for fd in dcfg.values())
     own.allocate(
@@ -543,15 +554,18 @@ def analyze(
 
     total_mass = sum(fd.total_count for fd in dcfg.values())
     min_count = options.hot_function_min_fraction * total_mass
-    if options.interproc:
-        clusters, symbol_order, hot_funcs = _interproc_layout(
-            index, dcfg, block_call_edges, options, own, min_count=min_count
-        )
-    else:
-        clusters, symbol_order, hot_funcs = _intra_layout(
-            index, dcfg, call_edges, options, own, min_count=min_count,
-            executor=executor,
-        )
+    with trace.span("wpa:layout", category="wpa",
+                    interproc=options.interproc) as sp:
+        if options.interproc:
+            clusters, symbol_order, hot_funcs = _interproc_layout(
+                index, dcfg, block_call_edges, options, own, min_count=min_count
+            )
+        else:
+            clusters, symbol_order, hot_funcs = _intra_layout(
+                index, dcfg, call_edges, options, own, min_count=min_count,
+                executor=executor,
+            )
+        sp.note(hot_functions=len(hot_funcs))
     prefetches: Dict[str, List[Tuple[int, str]]] = {}
     if options.insert_prefetches:
         from repro.core.prefetch import plan_prefetches

@@ -1,0 +1,54 @@
+"""Observability: phase spans, counters and exporters.
+
+Per-phase accounting is the backbone of the paper's evaluation (§5:
+per-phase wall-clock, peak RSS, cache behaviour), and profile-quality
+metrics -- match rate after staleness, sample coverage, hot-function
+counts -- are the first thing PGO practitioners inspect.  This package
+makes both visible for any pipeline run:
+
+* :class:`Tracer` -- nested spans (phase -> batch -> action) recorded
+  on both the simulated and the real clock; :data:`NULL_TRACER` is the
+  free-when-disabled default.
+* :class:`Counters` -- cache hit/miss, RAM rejections, queue depth,
+  and profile-quality gauges, written only from the submitting process
+  so ``jobs=N`` runs count identically to serial ones.
+* Exporters -- Chrome ``trace_event`` JSON (open in ``chrome://tracing``
+  or https://ui.perfetto.dev), schema-versioned metrics JSON, and an
+  aligned text table.
+* :class:`PipelineReport` -- the typed result object behind
+  ``PipelineResult.report()`` and ``--metrics-out``.
+
+Stdlib-only and imports nothing from the rest of ``repro`` at module
+scope, so any layer may depend on it without dragging in the toolchain.
+"""
+
+from repro.obs.counters import Counters
+from repro.obs.export import (
+    chrome_trace,
+    metrics_table,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.report import (
+    METRICS_SCHEMA_VERSION,
+    BuildStat,
+    PhaseStat,
+    PipelineReport,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BuildStat",
+    "Counters",
+    "METRICS_SCHEMA_VERSION",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseStat",
+    "PipelineReport",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "metrics_table",
+    "write_chrome_trace",
+    "write_metrics",
+]

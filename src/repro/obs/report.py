@@ -1,0 +1,117 @@
+"""Typed pipeline reports: the supported programmatic result surface.
+
+:class:`PipelineReport` is what ``PipelineResult.report()`` returns and
+what ``--metrics-out`` serializes.  It is a plain frozen dataclass of
+scalars -- no IR, no executables -- so it is cheap to keep, diff and
+ship to dashboards, and its JSON form is versioned
+(:data:`METRICS_SCHEMA_VERSION`) so downstream consumers can detect
+drift instead of silently misreading renamed fields.
+
+``PipelineResult.summary()`` is reimplemented on top of this report:
+anything the human-readable text can say, the typed object says first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "BuildStat",
+    "PhaseStat",
+    "PipelineReport",
+]
+
+#: Bump on any backwards-incompatible change to the JSON layout.
+METRICS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BuildStat:
+    """One full (re)build's accounting: backends plus the final link."""
+
+    name: str
+    #: Simulated wall-clock of the whole build (backends + link).
+    wall_seconds: float
+    backend_seconds: float
+    link_seconds: float
+    #: Backend actions in the build (the link is counted separately).
+    actions: int
+    cache_hits: int
+    #: Cold modules replayed from the cache during the Phase-4 relink.
+    cold_cache_hits: int
+    hot_modules: int
+    #: Largest modelled RAM footprint of any action in the build.
+    peak_memory_bytes: int
+    binary_size: int
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """One pipeline phase's simulated cost and modelled peak memory."""
+
+    name: str
+    sim_seconds: float
+    peak_memory_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Everything a run's evaluation needs, as data."""
+
+    program: str
+    modules: int
+    hot_functions: int
+    builds: Tuple[BuildStat, ...]
+    phases: Tuple[PhaseStat, ...]
+    counters: Mapping[str, float] = field(default_factory=dict)
+    gauges: Mapping[str, float] = field(default_factory=dict)
+    schema_version: int = METRICS_SCHEMA_VERSION
+
+    def build(self, name: str) -> BuildStat:
+        for stat in self.builds:
+            if stat.name == name:
+                return stat
+        raise KeyError(f"no build stat named {name!r}")
+
+    def phase(self, name: str) -> PhaseStat:
+        for stat in self.phases:
+            if stat.name == name:
+                return stat
+        raise KeyError(f"no phase stat named {name!r}")
+
+    @property
+    def pct_hot_modules(self) -> float:
+        return self.build("optimized").hot_modules / max(1, self.modules)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-data form (``json.dumps``-able), schema-versioned."""
+        return {
+            "schema_version": self.schema_version,
+            "program": self.program,
+            "modules": self.modules,
+            "hot_functions": self.hot_functions,
+            "builds": [asdict(b) for b in self.builds],
+            "phases": [asdict(p) for p in self.phases],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "PipelineReport":
+        version = data.get("schema_version")
+        if version != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"metrics schema version {version!r} is not the supported "
+                f"{METRICS_SCHEMA_VERSION}"
+            )
+        return cls(
+            program=data["program"],
+            modules=data["modules"],
+            hot_functions=data["hot_functions"],
+            builds=tuple(BuildStat(**b) for b in data["builds"]),
+            phases=tuple(PhaseStat(**p) for p in data["phases"]),
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+        )

@@ -9,6 +9,7 @@ branches, the previous 32 records become one sample.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
@@ -49,6 +50,22 @@ class PerfData:
         return sum(
             _SAMPLE_HEADER_BYTES + len(s.records) * _RECORD_BYTES for s in self.samples
         )
+
+    def digest(self) -> str:
+        """SHA-256 over the sample content (period + every record).
+
+        The content identity of a profile loaded from disk: downstream
+        cached actions (WPA) key on it, so two different profiles never
+        share an analysis cache entry.
+        """
+        h = hashlib.sha256()
+        h.update(str(self.period).encode())
+        for sample in self.samples:
+            h.update(b"\x00S")
+            for src, dst in sample.records:
+                h.update(src.to_bytes(16, "little", signed=True))
+                h.update(dst.to_bytes(16, "little", signed=True))
+        return h.hexdigest()
 
 
 def sample_lbr(trace: Trace, period: int = 101, binary_name: str = "") -> PerfData:

@@ -29,6 +29,12 @@ class IRProfile:
     edges: Dict[str, Dict[Tuple[int, int], float]] = field(default_factory=dict)
     blocks: Dict[str, Dict[int, float]] = field(default_factory=dict)
     call_counts: Dict[str, float] = field(default_factory=dict)
+    #: Profile-quality accounting, filled by :meth:`apply_drift`: how
+    #: many nonzero edge/block entries the unperturbed profile had, and
+    #: how many of them dropout zeroed.  These never enter
+    #: :meth:`digest` -- they describe provenance, not content.
+    source_entries: int = 0
+    dropped_entries: int = 0
 
     def edge_counts(self, func: str) -> Dict[Tuple[int, int], float]:
         return self.edges.get(func, {})
@@ -38,6 +44,17 @@ class IRProfile:
 
     def function_count(self, func: str) -> float:
         return self.call_counts.get(func, 0.0)
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of the source profile's nonzero counts that survived
+        drift/dropout -- the "profile match rate" practitioners use as
+        the first staleness indicator.  1.0 for an unperturbed profile.
+        """
+        source = getattr(self, "source_entries", 0)
+        if not source:
+            return 1.0
+        return 1.0 - getattr(self, "dropped_entries", 0) / source
 
     def hot_functions(self, threshold: float = 0.0) -> List[str]:
         return sorted(
@@ -96,16 +113,32 @@ class IRProfile:
             dropout = drift
         rng = random.Random(seed)
         out = IRProfile(call_counts=dict(self.call_counts))
+        source = 0
+        dropped = 0
+
+        def perturb(counts):
+            # One rng.random() per entry, lognormvariate only for
+            # survivors: the exact draw order the seeded outputs are
+            # pinned to (see tests/golden).
+            nonlocal source, dropped
+            result = {}
+            for key, count in counts.items():
+                if count > 0:
+                    source += 1
+                if rng.random() < dropout:
+                    if count > 0:
+                        dropped += 1
+                    result[key] = 0.0
+                else:
+                    result[key] = count * rng.lognormvariate(0.0, drift)
+            return result
+
         for func, edges in self.edges.items():
-            out.edges[func] = {
-                e: (0.0 if rng.random() < dropout else c * rng.lognormvariate(0.0, drift))
-                for e, c in edges.items()
-            }
+            out.edges[func] = perturb(edges)
         for func, blocks in self.blocks.items():
-            out.blocks[func] = {
-                b: (0.0 if rng.random() < dropout else c * rng.lognormvariate(0.0, drift))
-                for b, c in blocks.items()
-            }
+            out.blocks[func] = perturb(blocks)
+        out.source_entries = source
+        out.dropped_entries = dropped
         return out
 
 

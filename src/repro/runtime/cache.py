@@ -42,11 +42,15 @@ def resolve_cache_dir(explicit: "Optional[str | os.PathLike]" = None) -> Optiona
 class PersistentActionStore:
     """Content-addressed pickle store under one root directory."""
 
-    def __init__(self, root: "str | os.PathLike"):
+    def __init__(self, root: "str | os.PathLike", counters: Any = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.loads = 0
         self.stores = 0
+        # Optional metrics sink (the repro.obs.Counters contract); held
+        # duck-typed so this module stays importable without any other
+        # part of the package.
+        self.counters = counters
 
     def _path(self, key: str) -> Path:
         if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
@@ -72,8 +76,12 @@ class PersistentActionStore:
         try:
             entry = pickle.loads(data)
         except Exception:
+            if self.counters is not None:
+                self.counters.incr("store.load_errors")
             return None
         self.loads += 1
+        if self.counters is not None:
+            self.counters.incr("store.loads")
         return entry
 
     def store(self, key: str, entry: Any) -> None:
@@ -91,6 +99,8 @@ class PersistentActionStore:
                 pass
             raise
         self.stores += 1
+        if self.counters is not None:
+            self.counters.incr("store.stores")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("??/*.pkl"))

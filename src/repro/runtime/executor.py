@@ -52,6 +52,11 @@ class ParallelExecutor:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Optional metrics sink (the repro.obs.Counters contract), held
+        # duck-typed so this module keeps its no-repro-imports promise.
+        # All names are under "pool.": they describe real-machine
+        # execution and legitimately differ between jobs=1 and jobs=N.
+        self.counters = None
 
     @property
     def parallel(self) -> bool:
@@ -70,6 +75,10 @@ class ParallelExecutor:
         serial executors and batches too small to amortize dispatch.
         """
         items = list(arg_tuples)
+        if self.counters is not None:
+            self.counters.incr("pool.map_calls")
+            self.counters.incr("pool.tasks", len(items))
+            self.counters.gauge("pool.jobs", self.jobs)
         if not self.parallel or len(items) < MIN_PARALLEL_TASKS:
             return [fn(*args) for args in items]
         pool = self._ensure_pool()

@@ -22,34 +22,75 @@ from repro.core.pipeline import PipelineConfig, PropellerPipeline
 from repro.synth import ALL_PRESETS, PRESETS, generate_workload
 from repro.tools.io import load_perf_data, load_program, save_perf_data, save_program
 
+#: Single source of truth for every pipeline flag's default: the
+#: :class:`PipelineConfig` dataclass.  CLI and library runs of the same
+#: nominal configuration are therefore identical by construction
+#: (asserted in tests/test_tools.py).
+_DEFAULTS = PipelineConfig()
+
+#: argparse dest -> PipelineConfig field, for every flag added by
+#: :func:`_add_pipeline_args`.  Tests iterate this mapping to prove the
+#: two default sets never diverge again.
+PIPELINE_FLAG_FIELDS = {
+    "seed": "seed",
+    "lbr_branches": "lbr_branches",
+    "lbr_period": "lbr_period",
+    "pgo_steps": "pgo_steps",
+    "workers": "workers",
+    "jobs": "jobs",
+    "cache_dir": "cache_dir",
+    "enforce_ram": "enforce_ram",
+}
+
 
 def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--lbr-branches", type=int, default=400_000,
+    parser.add_argument("--seed", type=int, default=_DEFAULTS.seed)
+    parser.add_argument("--lbr-branches", type=int, default=_DEFAULTS.lbr_branches,
                         help="profiling run length in taken branches")
-    parser.add_argument("--pgo-steps", type=int, default=200_000)
-    parser.add_argument("--workers", type=int, default=72,
+    parser.add_argument("--lbr-period", type=int, default=_DEFAULTS.lbr_period,
+                        help="LBR sampling period in taken branches")
+    parser.add_argument("--pgo-steps", type=int, default=_DEFAULTS.pgo_steps,
+                        help="instrumented-PGO training run length (IR steps)")
+    parser.add_argument("--workers", type=int, default=_DEFAULTS.workers,
                         help="simulated remote build pool size")
-    parser.add_argument("--jobs", type=int, default=None,
+    parser.add_argument("--jobs", type=int, default=_DEFAULTS.jobs,
                         help="real worker processes for codegen/layout "
                              "(default: min(--workers, CPU count))")
-    parser.add_argument("--cache-dir", default=None,
+    parser.add_argument("--cache-dir", default=_DEFAULTS.cache_dir,
                         help="persistent action-cache directory; falls back to "
                              "$REPRO_CACHE_DIR, else in-memory only")
-    parser.add_argument("--enforce-ram", action="store_true",
+    parser.add_argument("--enforce-ram", action=argparse.BooleanOptionalAction,
+                        default=_DEFAULTS.enforce_ram,
                         help="apply the per-action RAM limit (remote builds)")
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace_event JSON of the run "
+                             "(open in chrome://tracing or ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the schema-versioned metrics report JSON")
 
 
 def _config(args) -> PipelineConfig:
     return PipelineConfig(
-        seed=args.seed,
-        lbr_branches=args.lbr_branches,
-        pgo_steps=args.pgo_steps,
-        workers=args.workers,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        enforce_ram=args.enforce_ram,
+        trace=bool(getattr(args, "trace_out", None)),
+        **{field: getattr(args, dest) for dest, field in PIPELINE_FLAG_FIELDS.items()},
     )
+
+
+def _export_observability(args, pipe: PropellerPipeline, result) -> None:
+    """Honor ``--trace-out``/``--metrics-out`` when the command has them."""
+    if getattr(args, "trace_out", None):
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(pipe.tracer, args.trace_out)
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        from repro.obs import write_metrics
+
+        write_metrics(result.report(), args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
 
 
 def cmd_presets(_args) -> int:
@@ -78,16 +119,7 @@ def cmd_generate(args) -> int:
 def cmd_profile(args) -> int:
     program = load_program(args.program)
     pipe = PropellerPipeline(program, _config(args))
-    profile = pipe.collect_pgo_profile()
-    metadata = pipe.build(
-        "pgo+map", pipe.metadata_options(profile),
-        pipe._link_options("metadata.out", keep_bb_addr_map=True),
-    )
-    from repro.profiling import generate_trace, sample_lbr
-
-    trace = generate_trace(metadata.executable, max_branches=args.lbr_branches,
-                           seed=args.seed + 1, record_blocks=False)
-    perf = sample_lbr(trace, period=31, binary_name="metadata.out")
+    perf = pipe.collect_perf()
     save_perf_data(perf, args.output)
     print(f"{args.output}: {perf.num_samples} samples, "
           f"{perf.num_records} records ({format_bytes(perf.size_bytes)})")
@@ -97,15 +129,8 @@ def cmd_profile(args) -> int:
 def cmd_wpa(args) -> int:
     program = load_program(args.program)
     pipe = PropellerPipeline(program, _config(args))
-    profile = pipe.collect_pgo_profile()
-    metadata = pipe.build(
-        "pgo+map", pipe.metadata_options(profile),
-        pipe._link_options("metadata.out", keep_bb_addr_map=True),
-    )
     perf = load_perf_data(args.perf)
-    from repro.core.wpa import analyze
-
-    result = analyze(metadata.executable, perf)
+    result = pipe.analyze(perf)
     Path(args.cc_prof).write_text(result.cc_prof_text)
     Path(args.ld_prof).write_text(result.ld_prof_text)
     print(f"{len(result.hot_functions)} hot functions; "
@@ -116,10 +141,12 @@ def cmd_wpa(args) -> int:
 
 def cmd_optimize(args) -> int:
     program = load_program(args.program)
-    result = PropellerPipeline(program, _config(args)).run()
+    pipe = PropellerPipeline(program, _config(args))
+    result = pipe.run()
     print(result.summary())
     if args.report:
         Path(args.report).write_text(result.summary() + "\n")
+    _export_observability(args, pipe, result)
     return 0
 
 
@@ -198,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("--report")
     _add_pipeline_args(p)
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_optimize)
 
     p = sub.add_parser("compare", help="Propeller vs BOLT")

@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.ir",
     "repro.isa",
     "repro.linker",
+    "repro.obs",
     "repro.profiling",
     "repro.synth",
     "repro.tools",
@@ -38,11 +39,20 @@ class TestImportIsolation:
         _run(f"import {pkg}")
 
     def test_core_algorithms_skip_pipeline_stack(self):
-        """`import repro.core.exttsp` must not load linker/profiling."""
+        """`import repro.core.exttsp` must not load linker/profiling/obs."""
         _run(
             "import repro.core.exttsp, repro.core.bbsections, sys\n"
             "for bad in ('repro.linker', 'repro.profiling',\n"
-            "            'repro.core.pipeline', 'repro.buildsys'):\n"
+            "            'repro.core.pipeline', 'repro.buildsys', 'repro.obs'):\n"
+            "    assert bad not in sys.modules, bad\n"
+        )
+
+    def test_obs_imports_standalone(self):
+        """The observability layer must not drag in the toolchain."""
+        _run(
+            "import repro.obs, sys\n"
+            "for bad in ('repro.core', 'repro.linker', 'repro.profiling',\n"
+            "            'repro.buildsys', 'repro.runtime', 'repro.analysis'):\n"
             "    assert bad not in sys.modules, bad\n"
         )
 

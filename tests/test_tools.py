@@ -1,5 +1,6 @@
 """Tests for file formats and the CLI."""
 
+import argparse
 import json
 
 import pytest
@@ -17,7 +18,7 @@ from repro.tools import (
     save_perf_data,
     save_program,
 )
-from repro.tools.cli import main
+from repro.tools.cli import PIPELINE_FLAG_FIELDS, build_parser, main
 
 
 class TestProgramJSON:
@@ -138,3 +139,70 @@ class TestCLI:
         clusters = parse_cc_prof(cc.read_text())
         assert clusters
         assert parse_ld_prof(ld.read_text())
+
+    def test_profile_honors_lbr_period(self, tmp_path):
+        prog = tmp_path / "p.json"
+        main(["generate", "--preset", "531.deepsjeng", "--scale", "0.3",
+              "--seed", "7", "-o", str(prog)])
+        lbr = tmp_path / "p.lbr"
+        assert main(["profile", str(prog), "-o", str(lbr),
+                     "--lbr-branches", "40000", "--pgo-steps", "20000",
+                     "--lbr-period", "53"]) == 0
+        assert load_perf_data(lbr).period == 53
+
+    def test_optimize_emits_trace_and_metrics(self, tmp_path):
+        prog = tmp_path / "p.json"
+        main(["generate", "--preset", "531.deepsjeng", "--scale", "0.3",
+              "--seed", "7", "-o", str(prog)])
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["optimize", str(prog),
+                     "--lbr-branches", "40000", "--pgo-steps", "20000",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"]
+        assert any(e.get("ph") == "M" for e in events)
+        phase_names = {e["name"] for e in events
+                       if e.get("ph") == "X" and e.get("cat") == "phase"}
+        assert phase_names == {"phase:baseline", "phase:metadata-build",
+                               "phase:profile", "phase:wpa", "phase:relink"}
+
+        from repro.obs import METRICS_SCHEMA_VERSION, PipelineReport
+
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+        report = PipelineReport.from_json(payload)
+        assert report.counters.get("cache.hits", 0) + report.counters["cache.misses"] > 0
+        assert 0.0 <= report.gauges["pgo.match_rate"] <= 1.0
+        assert all(p.peak_memory_bytes >= 0 for p in report.phases)
+
+
+class TestCLIAPIDiscipline:
+    def test_defaults_match_pipeline_config(self):
+        """CLI defaults come from PipelineConfig -- provably identical."""
+        from repro.core.pipeline import PipelineConfig
+
+        config = PipelineConfig()
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if isinstance(a, argparse._SubParsersAction))
+        for cmd in ("profile", "wpa", "optimize", "compare"):
+            cmd_parser = sub.choices[cmd]
+            for dest, field in PIPELINE_FLAG_FIELDS.items():
+                assert cmd_parser.get_default(dest) == getattr(config, field), (
+                    f"{cmd} --{dest.replace('_', '-')} default diverges from "
+                    f"PipelineConfig.{field}"
+                )
+
+    def test_cli_calls_no_private_pipeline_methods(self):
+        """The CLI must use only the public pipeline API."""
+        import inspect
+        import re
+
+        import repro.tools.cli as cli
+
+        source = inspect.getsource(cli)
+        private_calls = re.findall(r"\b(?:pipe|pipeline)\._\w+", source)
+        assert not private_calls, private_calls
