@@ -7,7 +7,7 @@ and compares simulated wall time; the warm relink must approach the
 link-only floor.
 """
 
-from conftest import build_world
+from conftest import measure
 from repro.analysis import Table
 from repro.buildsys import BuildSystem
 from repro.core.pipeline import PropellerPipeline
@@ -23,10 +23,8 @@ def test_ablation_cache_reuse(benchmark, world_factory):
         buildsys=BuildSystem(workers=world.result.config.workers, enforce_ram=False),
     )
     cold = pipe.relink(world.result.ir_profile, world.result.wpa_result)
-    benchmark.pedantic(
-        lambda: world.pipeline.relink(world.result.ir_profile, world.result.wpa_result),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark, lambda: world.pipeline.relink(
+        world.result.ir_profile, world.result.wpa_result))
 
     table = Table(
         ["Cache", "backends wall (s)", "link (s)", "total (s)", "cache hits"],

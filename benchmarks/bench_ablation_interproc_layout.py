@@ -9,7 +9,7 @@ layout, which is why the paper's evaluation ships intra-function mode.
 
 import time
 
-from conftest import HW_PARAMS, PERF_BLOCKS, build_world
+from conftest import HW_PARAMS, PERF_BLOCKS, measure
 from repro.analysis import Table
 from repro.core.wpa import WPAOptions, analyze
 from repro.hwmodel import simulate_frontend
@@ -29,10 +29,7 @@ def test_ablation_interproc_layout(benchmark, world_factory):
     inter = analyze(exe, perf, WPAOptions(interproc=True))
     inter_seconds = time.perf_counter() - t0
 
-    benchmark.pedantic(
-        lambda: analyze(exe, perf, WPAOptions(interproc=False)),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark, lambda: analyze(exe, perf, WPAOptions(interproc=False)))
 
     rows = []
     base = world.counters("base")

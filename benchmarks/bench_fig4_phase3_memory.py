@@ -8,7 +8,7 @@ Propeller by a large factor on big binaries, while being comparable on
 the smallest SPEC binaries.
 """
 
-from conftest import BIG_NAMES, SPEC_NAMES, build_world
+from conftest import BIG_NAMES, SPEC_NAMES, measure
 from repro.analysis import Table, format_bytes
 from repro.core.wpa import analyze
 
@@ -22,10 +22,8 @@ def test_fig4_phase3_memory(benchmark, world_factory):
         rows.append((name, prop, bolt))
 
     clang = world_factory("clang")
-    benchmark.pedantic(
-        lambda: analyze(clang.result.metadata.executable, clang.result.perf),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark,
+            lambda: analyze(clang.result.metadata.executable, clang.result.perf))
 
     table = Table(
         ["Benchmark", "Propeller (Phase 3)", "BOLT (perf2bolt)", "BOLT / Propeller"],

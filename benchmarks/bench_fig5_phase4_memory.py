@@ -5,7 +5,7 @@ The paper's shape: Propeller's relink stays at baseline-link levels
 multiple of the baseline link on large binaries.
 """
 
-from conftest import BIG_NAMES, SPEC_NAMES, build_world
+from conftest import BIG_NAMES, SPEC_NAMES, measure
 from repro.analysis import Table, format_bytes
 from repro.linker import LinkOptions, link
 
@@ -20,14 +20,11 @@ def test_fig5_phase4_memory(benchmark, world_factory):
         rows.append((name, base, prop, bolt))
 
     clang = world_factory("clang")
-    benchmark.pedantic(
-        lambda: link(
-            clang.result.optimized.objects,
-            LinkOptions(symbol_order=clang.result.wpa_result.symbol_order,
-                        keep_bb_addr_map=False),
-        ),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark, lambda: link(
+        clang.result.optimized.objects,
+        LinkOptions(symbol_order=clang.result.wpa_result.symbol_order,
+                    keep_bb_addr_map=False),
+    ))
 
     table = Table(
         ["Benchmark", "Baseline link", "Propeller relink", "llvm-bolt", "BOLT / link"],

@@ -5,7 +5,7 @@ optimized ~+1%; BOLT metadata +20-60% (static relocations), BOLT
 optimized +30-150% (keeps the original .text).
 """
 
-from conftest import BIG_NAMES, SPEC_NAMES, build_world
+from conftest import BIG_NAMES, SPEC_NAMES, measure
 from repro.analysis import Table, format_bytes
 
 
@@ -14,10 +14,8 @@ def _breakdown(exe):
 
 
 def test_fig6_binary_size(benchmark, world_factory):
-    benchmark.pedantic(
-        lambda: _breakdown(world_factory("clang").result.baseline.executable),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark,
+            lambda: _breakdown(world_factory("clang").result.baseline.executable))
     table = Table(
         ["Benchmark", "Variant", "text", "eh_frame", "bb_addr_map", "relocs",
          "other", "total", "vs base"],

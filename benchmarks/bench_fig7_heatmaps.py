@@ -7,17 +7,15 @@ segment).  The bench renders the ASCII heat maps and asserts the band
 statistics.
 """
 
-from conftest import build_world
+from conftest import measure
 from repro.analysis import Table, format_bytes
 from repro.hwmodel import record_heatmap, render_heatmap
 
 
 def test_fig7_heatmaps(benchmark, world_factory):
     world = world_factory("clang")
-    benchmark.pedantic(
-        lambda: record_heatmap(world.result.baseline.executable, world.trace("base")),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark, lambda: record_heatmap(
+        world.result.baseline.executable, world.trace("base")))
 
     maps = {}
     for variant in ("base", "prop", "bolt"):

@@ -8,15 +8,14 @@ ones, up to ~85% on Search with hugepages), branch resteers and taken
 branches.
 """
 
-from conftest import build_world
+from conftest import measure
 from repro.analysis import Table
 
 LABELS = ["I1", "I2", "I3", "T1", "T2", "B1", "B2"]
 
 
 def test_fig8_perf_counters(benchmark, world_factory):
-    benchmark.pedantic(lambda: world_factory("clang").counters("prop"),
-                       rounds=1, iterations=1)
+    measure(benchmark, lambda: world_factory("clang").counters("prop"))
 
     checks = {}
     table = Table(

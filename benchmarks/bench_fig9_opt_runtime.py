@@ -8,15 +8,13 @@ relink.  Workstation side (SPEC/clang/mysql): BOLT is faster than
 Propeller, whose full compiler backends dominate.
 """
 
-from conftest import BIG_NAMES, SPEC_NAMES, WSC_NAMES, build_world
+from conftest import BIG_NAMES, SPEC_NAMES, WSC_NAMES, measure
 from repro.analysis import Table
 
 
 def test_fig9_opt_runtime(benchmark, world_factory):
-    benchmark.pedantic(
-        lambda: world_factory("clang").result.optimized.wall_seconds,
-        rounds=1, iterations=1,
-    )
+    measure(benchmark,
+            lambda: world_factory("clang").result.optimized.wall_seconds)
 
     table = Table(
         ["Benchmark", "Base backends", "Base link", "Prop backends", "Prop link",

@@ -8,7 +8,7 @@ paper's values.
 
 import pytest
 
-from conftest import BIG_NAMES, SPEC_NAMES, build_world
+from conftest import BIG_NAMES, SPEC_NAMES, measure
 from repro.analysis import Table, format_bytes
 from repro.synth import PRESETS, generate_workload
 
@@ -48,10 +48,8 @@ def test_table2_characteristics(benchmark, world_factory):
         world = world_factory(name)
         rows.append((name, _characteristics(world)))
 
-    benchmark.pedantic(
-        lambda: generate_workload(PRESETS["505.mcf"], scale=1.0, seed=3),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark,
+            lambda: generate_workload(PRESETS["505.mcf"], scale=1.0, seed=3))
 
     table = Table(
         ["Benchmark", "Text", "#Funcs", "#BBs", "% Cold", "paper % Cold",

@@ -6,21 +6,16 @@ the four warehouse-scale applications (rseq, FIPS integrity, and an
 eh_frame rewrite failure).
 """
 
-from conftest import BIG_NAMES, build_world
+from conftest import BIG_NAMES, HW_PARAMS, measure
 from repro.analysis import Table
 from repro.hwmodel import simulate_frontend
-from conftest import HW_PARAMS
 from repro.synth import PRESETS
 
 
 def test_table3_performance(benchmark, world_factory):
     clang = world_factory("clang")
-    benchmark.pedantic(
-        lambda: simulate_frontend(
-            clang.result.baseline.executable, clang.trace("base"), HW_PARAMS
-        ),
-        rounds=1, iterations=1,
-    )
+    measure(benchmark, lambda: simulate_frontend(
+        clang.result.baseline.executable, clang.trace("base"), HW_PARAMS))
 
     table = Table(
         ["Benchmark", "Metric", "Propeller", "BOLT (lite=0)"],

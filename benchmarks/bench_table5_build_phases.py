@@ -7,13 +7,12 @@ the Propeller-specific work (convert + phase 4) is a small fraction of
 the end-to-end release time; profiling runs dominate.
 """
 
-from conftest import WSC_NAMES, build_world
+from conftest import WSC_NAMES, measure
 from repro.analysis import Table
 
 
 def test_table5_build_phases(benchmark, world_factory):
-    benchmark.pedantic(lambda: world_factory("spanner").result.phase_seconds,
-                       rounds=1, iterations=1)
+    measure(benchmark, lambda: world_factory("spanner").result.phase_seconds)
 
     table = Table(
         ["Benchmark", "Instr.", "Profile", "Opt.", "Profile", "Convert", "Opt."],

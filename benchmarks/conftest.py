@@ -49,6 +49,21 @@ PERF_BLOCKS = 400_000
 SEED = 3
 
 
+def measure(benchmark, fn, rounds: int = None):
+    """Time ``fn`` under the suite-wide repetition policy.
+
+    One place owns how benches repeat their timed section (median of
+    :data:`repro.obs.bench.DEFAULT_REPETITIONS` rounds, one iteration
+    each -- the same policy ``repro-bench`` uses), instead of each file
+    hard-coding its own ``rounds=``/``iterations=``.
+    """
+    from repro.obs.bench import DEFAULT_REPETITIONS
+
+    return benchmark.pedantic(
+        fn, rounds=DEFAULT_REPETITIONS if rounds is None else rounds,
+        iterations=1)
+
+
 def _config(preset) -> PipelineConfig:
     # Workstation builds (clang/MySQL/SPEC) use the paper's 72-core box;
     # warehouse builds get a pool scaled like everything else (the real

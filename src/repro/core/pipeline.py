@@ -196,13 +196,47 @@ class PipelineResult:
         h.update(self.ir_profile.digest().encode())
         return h.hexdigest()
 
-    def report(self) -> PipelineReport:
+    def frontend_counters(
+        self,
+        max_blocks: int = 200_000,
+        seed: int = 77,
+        params=None,
+    ) -> Dict[str, Dict[str, float]]:
+        """Hardware-counter scorecards for the baseline and optimized binaries.
+
+        Replays one layout-invariant trace per binary through the scaled
+        frontend model and returns ``{"baseline": {...}, "optimized":
+        {...}}`` of Table 4 counters plus cycles/instructions/ipc (see
+        :meth:`FrontendCounters.as_dict`).  Fully deterministic in
+        (binaries, ``max_blocks``, ``seed``, ``params``) -- which is
+        what lets regression gates compare the values exactly.
+        """
+        from repro.hwmodel import simulate_frontend
+        from repro.hwmodel.frontend import SCALED_PARAMS
+        from repro.profiling import generate_trace
+
+        if params is None:
+            params = SCALED_PARAMS
+        scorecard: Dict[str, Dict[str, float]] = {}
+        for name, outcome in (("baseline", self.baseline),
+                              ("optimized", self.optimized)):
+            exe = outcome.executable
+            trace = generate_trace(exe, max_blocks=max_blocks, seed=seed)
+            scorecard[name] = simulate_frontend(exe, trace, params).as_dict()
+        return scorecard
+
+    def report(self, include_frontend: bool = False) -> PipelineReport:
         """The run as a typed, JSON-able :class:`~repro.obs.PipelineReport`.
 
         This is the supported programmatic surface: :meth:`summary` is
         rendered from it, ``--metrics-out`` serializes it, and its JSON
         layout is schema-versioned.  Everything in it is accounting --
         the artifacts themselves stay on this result object.
+
+        ``include_frontend=True`` additionally simulates the frontend
+        model on the baseline and optimized binaries (a real
+        measurement, not free) and attaches the hardware-counter
+        scorecard as the report's ``frontend`` section.
         """
         def build_stat(name: str, outcome: BuildOutcome) -> BuildStat:
             return BuildStat(
@@ -248,6 +282,7 @@ class PipelineResult:
             ),
             counters=snapshot["counters"],
             gauges=snapshot["gauges"],
+            frontend=self.frontend_counters() if include_frontend else {},
         )
 
     def summary(self) -> str:

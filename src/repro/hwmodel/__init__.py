@@ -10,13 +10,19 @@ same workload is the measured quantity (Table 3, Figure 8).
 """
 
 from repro.hwmodel.caches import SetAssociativeCache
-from repro.hwmodel.frontend import FrontendCounters, SkylakeParams, simulate_frontend
+from repro.hwmodel.frontend import (
+    TABLE4_LABELS,
+    FrontendCounters,
+    SkylakeParams,
+    simulate_frontend,
+)
 from repro.hwmodel.heatmap import AccessHeatmap, record_heatmap, render_heatmap
 
 __all__ = [
     "SetAssociativeCache",
     "FrontendCounters",
     "SkylakeParams",
+    "TABLE4_LABELS",
     "simulate_frontend",
     "AccessHeatmap",
     "record_heatmap",

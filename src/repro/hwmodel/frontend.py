@@ -113,6 +113,10 @@ DEFAULT_PARAMS = SkylakeParams()
 #: Structures scaled to match the default 1/100-scale workloads.
 SCALED_PARAMS = DEFAULT_PARAMS.scaled(16)
 
+#: The paper's Table 4 counter labels, in presentation order (``DSB``
+#: is the §5.4 discussion counter, reported alongside them).
+TABLE4_LABELS: Tuple[str, ...] = ("I1", "I2", "I3", "T1", "T2", "B1", "B2", "DSB")
+
 
 @dataclass
 class FrontendCounters:
@@ -141,6 +145,25 @@ class FrontendCounters:
             "B2": self.taken_branches,
             "DSB": self.dsb_miss,
         }[label]
+
+    def table4(self) -> Dict[str, float]:
+        """The Table 4 counters alone, keyed by label."""
+        return {label: self.counter(label) for label in TABLE4_LABELS}
+
+    def as_dict(self) -> Dict[str, float]:
+        """Every simulated quantity as a flat, JSON-able mapping.
+
+        The extraction surface behind scorecards and the metrics
+        report's ``frontend`` section: Table 4 labels plus the derived
+        totals, all plain numbers (deterministic for a given binary,
+        trace and parameters).
+        """
+        out: Dict[str, float] = self.table4()
+        out["instructions"] = self.instructions
+        out["blocks"] = self.blocks
+        out["cycles"] = self.cycles
+        out["ipc"] = self.ipc
+        return out
 
     @property
     def ipc(self) -> float:

@@ -1,4 +1,4 @@
-"""Observability: phase spans, counters and exporters.
+"""Observability: phase spans, counters, exporters and the bench harness.
 
 Per-phase accounting is the backbone of the paper's evaluation (§5:
 per-phase wall-clock, peak RSS, cache behaviour), and profile-quality
@@ -16,19 +16,49 @@ makes both visible for any pipeline run:
   or https://ui.perfetto.dev), schema-versioned metrics JSON, and an
   aligned text table.
 * :class:`PipelineReport` -- the typed result object behind
-  ``PipelineResult.report()`` and ``--metrics-out``.
+  ``PipelineResult.report()`` and ``--metrics-out``, including the
+  hardware-counter ``frontend`` scorecard.
+* :mod:`repro.obs.bench` / :mod:`repro.obs.baseline` -- the continuous
+  benchmark harness behind ``repro-bench``: declarative scenarios,
+  median-of-N timing with MAD noise estimation, schema-versioned
+  ``BENCH_<n>.json`` reports and baseline regression gates.
+* :func:`get_logger` / :func:`configure_logging` -- the ``logging``
+  channel CLI progress output goes through (``--quiet``/``--verbose``).
 
 Stdlib-only and imports nothing from the rest of ``repro`` at module
 scope, so any layer may depend on it without dragging in the toolchain.
 """
 
+from repro.obs.baseline import (
+    REGEN_BASELINE_ENV,
+    Comparison,
+    MetricComparison,
+    compare,
+    load_bench_report,
+    write_bench_report,
+)
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    SUITES,
+    BenchReport,
+    Metric,
+    ScenarioResult,
+    next_bench_path,
+    run_suite,
+)
 from repro.obs.counters import Counters
 from repro.obs.export import (
+    bench_markdown,
+    bench_scorecard,
     chrome_trace,
+    comparison_markdown,
+    comparison_table,
+    frontend_table,
     metrics_table,
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.log import configure_logging, get_logger
 from repro.obs.report import (
     METRICS_SCHEMA_VERSION,
     BuildStat,
@@ -38,17 +68,37 @@ from repro.obs.report import (
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchReport",
     "BuildStat",
+    "Comparison",
     "Counters",
     "METRICS_SCHEMA_VERSION",
+    "Metric",
+    "MetricComparison",
     "NULL_TRACER",
     "NullTracer",
     "PhaseStat",
     "PipelineReport",
+    "REGEN_BASELINE_ENV",
+    "SUITES",
+    "ScenarioResult",
     "Span",
     "Tracer",
+    "bench_markdown",
+    "bench_scorecard",
     "chrome_trace",
+    "compare",
+    "comparison_markdown",
+    "comparison_table",
+    "configure_logging",
+    "frontend_table",
+    "get_logger",
+    "load_bench_report",
     "metrics_table",
+    "next_bench_path",
+    "run_suite",
+    "write_bench_report",
     "write_chrome_trace",
     "write_metrics",
 ]

@@ -23,12 +23,18 @@ from repro.obs.report import PipelineReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis import Table
+    from repro.obs.baseline import Comparison
+    from repro.obs.bench import BenchReport
     from repro.obs.tracer import Tracer
 
 __all__ = [
     "SIM_PID",
     "REAL_PID",
+    "bench_markdown",
+    "bench_scorecard",
     "chrome_trace",
+    "comparison_markdown",
+    "comparison_table",
     "write_chrome_trace",
     "write_metrics",
     "metrics_table",
@@ -92,3 +98,119 @@ def metrics_table(report: PipelineReport) -> "Table":
             format_bytes(phase.peak_memory_bytes), "-", "-",
         )
     return table
+
+
+def frontend_table(report: PipelineReport) -> "Table":
+    """The report's hardware-counter scorecard (Table 4 labels) as a table."""
+    from repro.analysis import Table
+
+    binaries = list(report.frontend)
+    table = Table(["counter"] + binaries,
+                  title=f"{report.program}: frontend counters")
+    labels: list = []
+    for counters in report.frontend.values():
+        for label in counters:
+            if label not in labels:
+                labels.append(label)
+    for label in labels:
+        table.add_row(label, *(_fmt_value(report.frontend[b].get(label, "-"))
+                               for b in binaries))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Bench scorecards
+
+def _fmt_value(value, unit: str = "") -> str:
+    if isinstance(value, str):
+        return value[:16]
+    if isinstance(value, float) and not value.is_integer():
+        text = f"{value:.4g}"
+    else:
+        text = f"{int(value)}"
+    return f"{text}{unit}" if unit and unit != "frac" else text
+
+
+def _metric_rows(report: "BenchReport"):
+    for scenario in report.scenarios:
+        for metric in scenario.metrics:
+            noise = (f"±{100 * metric.noise:.1f}%" if metric.noise else "-")
+            yield (scenario.name, metric.name,
+                   _fmt_value(metric.value, metric.unit),
+                   metric.gate, noise, scenario.paper_ref)
+
+
+def bench_scorecard(report: "BenchReport") -> "Table":
+    """A bench report as a human-readable aligned text table."""
+    from repro.analysis import Table
+
+    title = f"bench suite {report.suite!r} (seed {report.seed}, " \
+            f"median of {report.repetitions})"
+    if report.perturb:
+        title += f" [PERTURBED: {report.perturb}]"
+    table = Table(["scenario", "metric", "value", "gate", "noise", "paper"],
+                  title=title)
+    for row in _metric_rows(report):
+        table.add_row(*row)
+    return table
+
+
+def bench_markdown(report: "BenchReport") -> str:
+    """A bench report as a GitHub-flavored markdown scorecard."""
+    lines = [
+        f"## Bench scorecard — suite `{report.suite}`",
+        "",
+        f"Seed {report.seed}, median of {report.repetitions} repetitions. "
+        f"Deterministic fingerprint `{report.deterministic_fingerprint()[:12]}`."
+        + (f" **Injected fault: `{report.perturb}`.**" if report.perturb else ""),
+        "",
+        "| scenario | metric | value | gate | noise | paper |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in _metric_rows(report):
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def comparison_table(comparison: "Comparison") -> "Table":
+    """A baseline comparison as an aligned text table (failures first)."""
+    from repro.analysis import Table
+
+    table = Table(["scenario", "metric", "verdict", "current", "baseline",
+                   "detail"],
+                  title=f"vs baseline: {comparison.summary()}")
+    entries = sorted(comparison.entries,
+                     key=lambda e: (not e.failed, e.scenario, e.metric))
+    for entry in entries:
+        table.add_row(
+            entry.scenario, entry.metric,
+            entry.verdict.upper() if entry.failed else entry.verdict,
+            _fmt_value(entry.current.value) if entry.current else "-",
+            _fmt_value(entry.baseline.value) if entry.baseline else "-",
+            entry.detail,
+        )
+    return table
+
+
+def comparison_markdown(comparison: "Comparison") -> str:
+    """A baseline comparison as markdown (regressions surfaced on top)."""
+    lines = [f"## Regression gate — {comparison.summary()}", ""]
+    failures = comparison.failures
+    if failures:
+        lines.append("### Failures")
+        lines.append("")
+        for entry in failures:
+            lines.append(f"- **{entry.label}**: {entry.verdict} — {entry.detail}")
+        lines.append("")
+    lines += [
+        "| scenario | metric | verdict | current | baseline | detail |",
+        "|---|---|---|---|---|---|",
+    ]
+    for entry in comparison.entries:
+        lines.append("| " + " | ".join([
+            entry.scenario, entry.metric, entry.verdict,
+            _fmt_value(entry.current.value) if entry.current else "-",
+            _fmt_value(entry.baseline.value) if entry.baseline else "-",
+            entry.detail,
+        ]) + " |")
+    return "\n".join(lines) + "\n"

@@ -67,6 +67,12 @@ class PipelineReport:
     phases: Tuple[PhaseStat, ...]
     counters: Mapping[str, float] = field(default_factory=dict)
     gauges: Mapping[str, float] = field(default_factory=dict)
+    #: Hardware-counter scorecard per binary (``baseline``/``optimized``
+    #: -> Table 4 label -> value), as produced by
+    #: ``PipelineResult.frontend_counters()``.  Empty when the run did
+    #: not simulate the frontend (it is an opt-in measurement, not an
+    #: accounting byproduct).
+    frontend: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
     schema_version: int = METRICS_SCHEMA_VERSION
 
     def build(self, name: str) -> BuildStat:
@@ -85,6 +91,23 @@ class PipelineReport:
     def pct_hot_modules(self) -> float:
         return self.build("optimized").hot_modules / max(1, self.modules)
 
+    def frontend_counter(self, binary: str, label: str) -> float:
+        """One scorecard value, e.g. ``frontend_counter("optimized", "I1")``."""
+        try:
+            return self.frontend[binary][label]
+        except KeyError:
+            raise KeyError(
+                f"no frontend counter {label!r} for binary {binary!r}; "
+                "was the report built with include_frontend=True?"
+            ) from None
+
+    @property
+    def frontend_improvement(self) -> float:
+        """Fractional cycle improvement of ``optimized`` over ``baseline``."""
+        base = self.frontend_counter("baseline", "cycles")
+        opt = self.frontend_counter("optimized", "cycles")
+        return base / opt - 1.0 if opt else 0.0
+
     def to_json(self) -> Dict[str, Any]:
         """Plain-data form (``json.dumps``-able), schema-versioned."""
         return {
@@ -96,6 +119,7 @@ class PipelineReport:
             "phases": [asdict(p) for p in self.phases],
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "frontend": {k: dict(v) for k, v in self.frontend.items()},
         }
 
     @classmethod
@@ -114,4 +138,7 @@ class PipelineReport:
             phases=tuple(PhaseStat(**p) for p in data["phases"]),
             counters=dict(data.get("counters", {})),
             gauges=dict(data.get("gauges", {})),
+            # Additive in schema version 1: absent in payloads written
+            # before the frontend scorecard existed.
+            frontend={k: dict(v) for k, v in data.get("frontend", {}).items()},
         )

@@ -7,20 +7,31 @@ Commands mirror the paper's tool flow:
 * ``profile``   -- build the metadata binary and collect an LBR profile;
 * ``wpa``       -- the create_llvm_prof analogue: profile -> cc_prof/ld_prof;
 * ``optimize``  -- run all four phases and report;
-* ``compare``   -- Propeller vs BOLT on one workload.
+* ``compare``   -- Propeller vs BOLT on one workload;
+* ``bench``     -- the continuous benchmark harness (also installed as
+  the ``repro-bench`` console script): run a scenario suite, write a
+  ``BENCH_<n>.json`` scorecard, and optionally gate against a baseline.
+
+Output discipline: *results* (tables, summaries, scorecards) go to
+stdout via ``print``; *progress* goes through the :mod:`repro.obs.log`
+logger on stderr, silenced by ``--quiet`` and widened by ``--verbose``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import Table, format_bytes
 from repro.core.pipeline import PipelineConfig, PropellerPipeline
+from repro.obs.log import configure_logging, get_logger
 from repro.synth import ALL_PRESETS, PRESETS, generate_workload
 from repro.tools.io import load_perf_data, load_program, save_perf_data, save_program
+
+log = get_logger("tools.cli")
 
 #: Single source of truth for every pipeline flag's default: the
 #: :class:`PipelineConfig` dataclass.  CLI and library runs of the same
@@ -69,7 +80,16 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome trace_event JSON of the run "
                              "(open in chrome://tracing or ui.perfetto.dev)")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
-                        help="write the schema-versioned metrics report JSON")
+                        help="write the schema-versioned metrics report JSON "
+                             "(includes the frontend counter scorecard)")
+
+
+def _add_verbosity_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress progress output (results still print)")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="debug-level progress output")
 
 
 def _config(args) -> PipelineConfig:
@@ -85,12 +105,12 @@ def _export_observability(args, pipe: PropellerPipeline, result) -> None:
         from repro.obs import write_chrome_trace
 
         write_chrome_trace(pipe.tracer, args.trace_out)
-        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+        log.info("wrote trace to %s", args.trace_out)
     if getattr(args, "metrics_out", None):
         from repro.obs import write_metrics
 
-        write_metrics(result.report(), args.metrics_out)
-        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        write_metrics(result.report(include_frontend=True), args.metrics_out)
+        log.info("wrote metrics to %s", args.metrics_out)
 
 
 def cmd_presets(_args) -> int:
@@ -107,12 +127,13 @@ def cmd_presets(_args) -> int:
 def cmd_generate(args) -> int:
     preset = PRESETS.get(args.preset)
     if preset is None:
-        print(f"unknown preset {args.preset!r}; see `presets`", file=sys.stderr)
+        log.error("unknown preset %r; see `presets`", args.preset)
         return 2
     program = generate_workload(preset, scale=args.scale, seed=args.seed)
     save_program(program, args.output)
-    print(f"{args.output}: {program.num_functions} functions, "
-          f"{program.num_blocks} basic blocks, {len(program.modules)} modules")
+    log.info("%s: %d functions, %d basic blocks, %d modules",
+             args.output, program.num_functions, program.num_blocks,
+             len(program.modules))
     return 0
 
 
@@ -121,8 +142,9 @@ def cmd_profile(args) -> int:
     pipe = PropellerPipeline(program, _config(args))
     perf = pipe.collect_perf()
     save_perf_data(perf, args.output)
-    print(f"{args.output}: {perf.num_samples} samples, "
-          f"{perf.num_records} records ({format_bytes(perf.size_bytes)})")
+    log.info("%s: %d samples, %d records (%s)",
+             args.output, perf.num_samples, perf.num_records,
+             format_bytes(perf.size_bytes))
     return 0
 
 
@@ -133,9 +155,10 @@ def cmd_wpa(args) -> int:
     result = pipe.analyze(perf)
     Path(args.cc_prof).write_text(result.cc_prof_text)
     Path(args.ld_prof).write_text(result.ld_prof_text)
-    print(f"{len(result.hot_functions)} hot functions; "
-          f"peak memory {format_bytes(result.stats.peak_memory_bytes)}")
-    print(f"wrote {args.cc_prof} and {args.ld_prof}")
+    log.info("%d hot functions; peak memory %s",
+             len(result.hot_functions),
+             format_bytes(result.stats.peak_memory_bytes))
+    log.info("wrote %s and %s", args.cc_prof, args.ld_prof)
     return 0
 
 
@@ -192,25 +215,111 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the benchmark suite; optionally gate against a baseline.
+
+    Exit codes: 0 = ran (and, with ``--compare``, no regression);
+    1 = regression gate failed; 2 = usage error (missing baseline,
+    regenerating from a perturbed run).
+    """
+    from repro.obs import (
+        REGEN_BASELINE_ENV,
+        SUITES,
+        bench_markdown,
+        bench_scorecard,
+        compare,
+        comparison_markdown,
+        comparison_table,
+        load_bench_report,
+        next_bench_path,
+        run_suite,
+        write_bench_report,
+    )
+    from repro.obs.bench import suite_scenarios
+
+    blog = get_logger("tools.bench")
+    if args.list:
+        table = Table(["scenario", "paper refs"],
+                      title=f"suite {args.suite!r} scenarios")
+        for scenario in suite_scenarios(SUITES[args.suite]):
+            table.add_row(scenario.name, scenario.paper_ref)
+        print(table)
+        return 0
+
+    report = run_suite(
+        suite=args.suite,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        jobs=args.jobs,
+        perturb=args.perturb,
+        only=args.scenario or None,
+        progress=lambda msg: blog.info("%s", msg),
+    )
+    out = Path(args.out) if args.out else next_bench_path(Path.cwd())
+    write_bench_report(report, out)
+    blog.info("wrote %s", out)
+    print(bench_scorecard(report))
+
+    comparison = None
+    if args.compare:
+        baseline_path = Path(args.compare)
+        if os.environ.get(REGEN_BASELINE_ENV):
+            if report.perturb:
+                blog.error(
+                    "refusing to regenerate %s from a perturbed run "
+                    "(--perturb %s)", baseline_path, report.perturb)
+                return 2
+            write_bench_report(report, baseline_path)
+            blog.info("regenerated baseline %s ($%s set)",
+                      baseline_path, REGEN_BASELINE_ENV)
+            return 0
+        if not baseline_path.exists():
+            blog.error(
+                "baseline %s does not exist; run with %s=1 to create it",
+                baseline_path, REGEN_BASELINE_ENV)
+            return 2
+        comparison = compare(report, load_bench_report(baseline_path),
+                             noise_factor=args.noise_factor,
+                             min_band=args.min_band)
+        print(comparison_table(comparison))
+
+    if args.markdown:
+        text = bench_markdown(report)
+        if comparison is not None:
+            text += "\n" + comparison_markdown(comparison)
+        Path(args.markdown).write_text(text)
+        blog.info("wrote markdown scorecard to %s", args.markdown)
+
+    if comparison is not None and not comparison.ok:
+        blog.error("regression gate failed: %d failing metric(s)",
+                   len(comparison.failures))
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools", description="Propeller reproduction toolchain"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("presets", help="list workload presets").set_defaults(fn=cmd_presets)
+    p = sub.add_parser("presets", help="list workload presets")
+    _add_verbosity_args(p)
+    p.set_defaults(fn=cmd_presets)
 
     p = sub.add_parser("generate", help="synthesize a workload")
     p.add_argument("--preset", required=True)
     p.add_argument("--scale", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", required=True)
+    _add_verbosity_args(p)
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("profile", help="collect an LBR profile")
     p.add_argument("program")
     p.add_argument("-o", "--output", required=True)
     _add_pipeline_args(p)
+    _add_verbosity_args(p)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("wpa", help="whole-program analysis (create_llvm_prof)")
@@ -219,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cc-prof", default="cc_prof.txt")
     p.add_argument("--ld-prof", default="ld_prof.txt")
     _add_pipeline_args(p)
+    _add_verbosity_args(p)
     p.set_defaults(fn=cmd_wpa)
 
     p = sub.add_parser("optimize", help="run all four phases")
@@ -226,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report")
     _add_pipeline_args(p)
     _add_observability_args(p)
+    _add_verbosity_args(p)
     p.set_defaults(fn=cmd_optimize)
 
     p = sub.add_parser("compare", help="Propeller vs BOLT")
@@ -233,13 +344,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--blocks", type=int, default=300_000)
     p.add_argument("--hw-scale", type=int, default=16)
     _add_pipeline_args(p)
+    _add_verbosity_args(p)
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark suite (also the repro-bench entry point)")
+    from repro.obs.bench import DEFAULT_REPETITIONS, PERTURBATIONS, SUITES
+
+    p.add_argument("--suite", choices=sorted(SUITES), default="smoke",
+                   help="scenario suite to run (default: smoke)")
+    p.add_argument("--repetitions", type=int, default=DEFAULT_REPETITIONS,
+                   help="timing repetitions per scenario (median + MAD)")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the jobs scenarios")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="report path (default: next BENCH_<n>.json in cwd)")
+    p.add_argument("--markdown", metavar="FILE", default=None,
+                   help="also write a markdown scorecard")
+    p.add_argument("--compare", metavar="BASELINE", default=None,
+                   help="gate against a stored BENCH json; exit 1 on "
+                        "regression ($REPRO_REGEN_BASELINE=1 refreshes it)")
+    p.add_argument("--perturb", choices=PERTURBATIONS, default=None,
+                   help="inject a known fault (harness self-test)")
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="run only this scenario (repeatable)")
+    p.add_argument("--list", action="store_true",
+                   help="list the suite's scenarios and exit")
+    p.add_argument("--noise-factor", type=float, default=4.0,
+                   help="noise-band multiplier over the measured rel. MAD")
+    p.add_argument("--min-band", type=float, default=0.25,
+                   help="noise-band floor (relative)")
+    _add_verbosity_args(p)
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(
+        -1 if getattr(args, "quiet", False) else getattr(args, "verbose", 0))
     return args.fn(args)
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-bench`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["bench", *argv])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,315 @@
+"""Tests for the benchmark harness (repro.obs.bench / baseline / CLI).
+
+Proves the three load-bearing properties:
+
+* the deterministic fingerprint is stable -- two runs of the same suite
+  on the same code produce bit-identical exact-gated metrics;
+* the regression gates actually fire -- an injected layout fault
+  (``--perturb shuffle-layout``) is flagged and exits nonzero;
+* the report format round-trips and rejects foreign schema versions,
+  like the metrics report before it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.obs import (
+    BenchReport,
+    Metric,
+    ScenarioResult,
+    compare,
+    load_bench_report,
+    next_bench_path,
+    run_suite,
+    write_bench_report,
+)
+from repro.obs.baseline import REGEN_BASELINE_ENV
+from repro.obs.bench import mad, median, summarize
+from repro.tools.cli import main
+
+#: The one scenario the tier-1 tests exercise end to end (the rest of
+#: the suite runs in CI's bench-smoke job and the slow tier).
+SCENARIO = "pipeline:531.deepsjeng"
+FAST = ["--repetitions", "1", "--scenario", SCENARIO]
+
+
+@pytest.fixture(scope="module")
+def smoke_run():
+    return run_suite(suite="smoke", repetitions=1, only=[SCENARIO])
+
+
+@pytest.fixture(scope="module")
+def perturbed_run():
+    return run_suite(suite="smoke", repetitions=1, only=[SCENARIO],
+                     perturb="shuffle-layout")
+
+
+class TestStats:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_is_robust_to_one_outlier(self):
+        # One GC pause in N reps barely moves the MAD (unlike stddev).
+        assert mad([1.0, 1.0, 1.0, 100.0]) == 0.0
+        assert mad([1.0, 2.0, 3.0]) == 1.0
+
+    def test_summarize(self):
+        med, rel = summarize([2.0, 2.0, 2.2])
+        assert med == 2.0
+        assert rel == pytest.approx(0.0)
+        assert summarize([0.0, 0.0, 0.0]) == (0.0, 0.0)
+
+
+class TestMetric:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Metric("m", 1, gate="fuzzy")
+        with pytest.raises(ValueError):
+            Metric("m", 1, direction="sideways")
+
+    def test_roundtrip(self):
+        metric = Metric("warm.speedup", 5.5, "x", gate="noise",
+                        direction="higher", noise=0.02, reps=(5.4, 5.5, 5.6))
+        assert Metric.from_json(metric.to_json()) == metric
+        assert not metric.deterministic
+        assert Metric("d", "abc").deterministic
+
+
+def _tiny_report(**overrides) -> BenchReport:
+    scenario = ScenarioResult(
+        name="s", title="t", paper_ref="Table 0",
+        metrics=(Metric("exact.none", 7),
+                 Metric("exact.lower", 10.0, gate="exact", direction="lower"),
+                 Metric("ratio", 5.0, "x", gate="noise", direction="higher",
+                        noise=0.01),
+                 Metric("wall", 1.5, "s", gate="info", direction="lower")),
+    )
+    base = dict(suite="smoke", seed=3, repetitions=1, scenarios=(scenario,))
+    base.update(overrides)
+    return BenchReport(**base)
+
+
+class TestBenchReport:
+    def test_json_roundtrip(self):
+        report = _tiny_report(perturb="shuffle-layout")
+        payload = json.loads(json.dumps(report.to_json()))
+        assert BenchReport.from_json(payload) == report
+
+    def test_rejects_foreign_schema(self):
+        payload = _tiny_report().to_json()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            BenchReport.from_json(payload)
+
+    def test_lookup(self):
+        report = _tiny_report()
+        assert report.metric("s", "exact.none").value == 7
+        with pytest.raises(KeyError):
+            report.scenario("nope")
+        with pytest.raises(KeyError):
+            report.metric("s", "nope")
+
+    def test_fingerprint_ignores_noisy_metrics(self):
+        a = _tiny_report()
+        scenario = a.scenarios[0]
+        noisy = tuple(m if m.gate == "exact" else replace(m, value=m.value * 2)
+                      for m in scenario.metrics)
+        b = replace(a, scenarios=(replace(scenario, metrics=noisy),))
+        assert a.deterministic_fingerprint() == b.deterministic_fingerprint()
+        drifted = tuple(replace(m, value=8) if m.name == "exact.none" else m
+                        for m in scenario.metrics)
+        c = replace(a, scenarios=(replace(scenario, metrics=drifted),))
+        assert a.deterministic_fingerprint() != c.deterministic_fingerprint()
+
+
+class TestNextBenchPath:
+    def test_numbering(self, tmp_path):
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        (tmp_path / "BENCH_x.json").write_text("{}")  # ignored
+        assert next_bench_path(tmp_path).name == "BENCH_8.json"
+
+
+class TestRunSuiteValidation:
+    def test_unknown_inputs(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite(suite="nope")
+        with pytest.raises(ValueError, match="unknown perturbation"):
+            run_suite(perturb="unplug-the-machine")
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            run_suite(only=["pipeline:nope"])
+        with pytest.raises(ValueError, match="repetitions"):
+            run_suite(repetitions=0)
+
+    def test_cache_env_is_shielded_and_restored(self, tmp_path, monkeypatch,
+                                                smoke_run):
+        # A developer's exported cache dir must not warm the harness's
+        # "cold" runs (it would shift the exact-gated cache counters).
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        report = run_suite(suite="smoke", repetitions=1, only=[SCENARIO])
+        assert report.metric(SCENARIO, "counter.cache.hits").value == \
+            smoke_run.metric(SCENARIO, "counter.cache.hits").value
+        assert os.environ["REPRO_CACHE_DIR"] == str(tmp_path / "warm")
+
+
+class TestDeterminism:
+    def test_two_runs_bit_identical(self, smoke_run):
+        rerun = run_suite(suite="smoke", repetitions=1, only=[SCENARIO])
+        assert rerun.deterministic_fingerprint() == \
+            smoke_run.deterministic_fingerprint()
+
+    def test_improvement_positive(self, smoke_run):
+        assert smoke_run.metric(SCENARIO, "improvement").value > 0
+
+    def test_self_compare_passes(self, smoke_run):
+        comparison = compare(smoke_run, smoke_run)
+        assert comparison.ok
+        assert {e.verdict for e in comparison.entries} == {"unchanged"}
+        assert comparison.summary().startswith("PASS")
+
+
+class TestRegressionGate:
+    def test_perturbation_is_recorded(self, perturbed_run):
+        assert perturbed_run.perturb == "shuffle-layout"
+
+    def test_shuffled_layout_fails_the_gate(self, smoke_run, perturbed_run):
+        comparison = compare(perturbed_run, smoke_run)
+        assert not comparison.ok
+        failed = {e.label for e in comparison.failures}
+        assert f"{SCENARIO}:improvement" in failed
+        assert f"{SCENARIO}:optimized.digest" in failed
+        digest = next(e for e in comparison.failures
+                      if e.metric == "optimized.digest")
+        assert digest.verdict == "changed"
+        improvement = next(e for e in comparison.failures
+                           if e.metric == "improvement")
+        assert improvement.verdict == "regressed"
+        # The input side is untouched: baseline counters stay identical.
+        assert not any(e.metric.startswith("baseline.")
+                       for e in comparison.failures)
+
+    def test_refuses_perturbed_baseline(self, smoke_run, perturbed_run):
+        with pytest.raises(ValueError, match="injected fault"):
+            compare(smoke_run, perturbed_run)
+
+    def test_refuses_suite_mismatch(self, smoke_run):
+        other = replace(smoke_run, suite="full")
+        with pytest.raises(ValueError, match="suite"):
+            compare(smoke_run, other)
+
+
+class TestCompareEdges:
+    def test_missing_metric_fails_new_metric_passes(self):
+        current = _tiny_report()
+        scenario = current.scenarios[0]
+        grown = replace(scenario, metrics=scenario.metrics +
+                        (Metric("extra", 1),))
+        shrunk = replace(scenario, metrics=scenario.metrics[1:])
+        assert compare(replace(current, scenarios=(grown,)), current).ok
+        comparison = compare(replace(current, scenarios=(shrunk,)), current)
+        assert not comparison.ok
+        assert comparison.failures[0].verdict == "missing"
+
+    def test_noise_band(self):
+        baseline = _tiny_report()
+        scenario = baseline.scenarios[0]
+
+        def with_ratio(value):
+            metrics = tuple(replace(m, value=value) if m.name == "ratio" else m
+                            for m in scenario.metrics)
+            return replace(baseline, scenarios=(replace(scenario, metrics=metrics),))
+
+        inside = compare(with_ratio(5.0 * 1.1), baseline)  # within 25% floor
+        assert inside.ok
+        entry = next(e for e in inside.entries if e.metric == "ratio")
+        assert entry.verdict == "within-noise"
+        collapsed = compare(with_ratio(1.0), baseline)  # broken cache: ~1x
+        assert not collapsed.ok
+        assert next(e for e in collapsed.failures
+                    if e.metric == "ratio").verdict == "regressed"
+        faster = compare(with_ratio(20.0), baseline)
+        assert faster.ok
+        assert next(e for e in faster.entries
+                    if e.metric == "ratio").verdict == "improved"
+
+    def test_exact_gate_directional_improvement_passes(self):
+        baseline = _tiny_report()
+        scenario = baseline.scenarios[0]
+        metrics = tuple(replace(m, value=9.0) if m.name == "exact.lower" else m
+                        for m in scenario.metrics)
+        comparison = compare(
+            replace(baseline, scenarios=(replace(scenario, metrics=metrics),)),
+            baseline)
+        assert comparison.ok
+        entry = next(e for e in comparison.entries
+                     if e.metric == "exact.lower")
+        assert entry.verdict == "improved"
+
+    def test_info_metrics_never_gate(self):
+        baseline = _tiny_report()
+        scenario = baseline.scenarios[0]
+        metrics = tuple(replace(m, value=1000.0) if m.name == "wall" else m
+                        for m in scenario.metrics)
+        comparison = compare(
+            replace(baseline, scenarios=(replace(scenario, metrics=metrics),)),
+            baseline)
+        assert comparison.ok
+
+
+class TestBenchCLI:
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", *FAST, "--out", str(out)]) == 0
+        report = load_bench_report(out)
+        assert report.suite == "smoke"
+        assert report.scenario(SCENARIO).metrics
+        assert SCENARIO in capsys.readouterr().out
+
+    def test_compare_and_perturb_exit_codes(self, tmp_path, smoke_run,
+                                            monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        write_bench_report(smoke_run, baseline)
+        assert main(["bench", *FAST, "--compare", str(baseline),
+                     "--markdown", str(tmp_path / "score.md")]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert "Regression gate" in (tmp_path / "score.md").read_text()
+        assert main(["bench", *FAST, "--compare", str(baseline),
+                     "--perturb", "shuffle-layout"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", *FAST,
+                     "--compare", str(tmp_path / "absent.json")]) == 2
+
+    def test_regen_baseline_env(self, tmp_path, smoke_run, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv(REGEN_BASELINE_ENV, "1")
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", *FAST, "--compare", str(baseline), "-q"]) == 0
+        regen = load_bench_report(baseline)
+        assert regen.deterministic_fingerprint() == \
+            smoke_run.deterministic_fingerprint()
+        # Refuses to bless a perturbed run as the new truth.
+        assert main(["bench", *FAST, "--compare", str(baseline),
+                     "--perturb", "shuffle-layout"]) == 2
+
+    def test_list_scenarios(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline:505.mcf" in out and "runtime:cold-warm" in out
+
+    def test_auto_numbered_output(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", *FAST, "-q"]) == 0
+        assert (tmp_path / "BENCH_1.json").exists()
