@@ -18,7 +18,7 @@ from conftest import HW_PARAMS, PERF_BLOCKS, build_world
 from repro.analysis import Table, format_bytes
 from repro.core.wpa import WPAOptions, analyze
 from repro.hwmodel import simulate_frontend
-from repro.profiling import generate_trace
+from repro.profiles import generate_trace
 
 
 def _relink_with(world, wpa_result):

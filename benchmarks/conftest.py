@@ -37,7 +37,7 @@ from repro.core.pipeline import (
 )
 from repro.hwmodel import FrontendCounters, simulate_frontend
 from repro.hwmodel.frontend import DEFAULT_PARAMS
-from repro.profiling import Trace, generate_trace
+from repro.profiles import Trace, generate_trace
 from repro.synth import PRESETS, generate_workload
 
 #: Hardware structures scaled to the ~1/100 workload scale.

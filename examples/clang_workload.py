@@ -13,7 +13,7 @@ from repro.analysis import format_bytes
 from repro.core.pipeline import PipelineConfig, PropellerPipeline
 from repro.elf import SectionKind
 from repro.hwmodel import record_heatmap, render_heatmap
-from repro.profiling import generate_trace
+from repro.profiles import generate_trace
 from repro.synth import PRESETS, generate_workload
 
 
@@ -37,7 +37,7 @@ def main() -> None:
 
     # Phase 3: profile the metadata binary, run WPA.
     from repro.core.wpa import analyze
-    from repro.profiling import sample_lbr
+    from repro.profiles import sample_lbr
 
     trace = generate_trace(metadata.executable, max_branches=config.lbr_branches,
                            seed=config.seed + 1, record_blocks=False)

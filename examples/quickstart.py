@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 from repro import PRESETS, PipelineConfig, generate_workload, optimize
 from repro.hwmodel import simulate_frontend
 from repro.hwmodel.frontend import DEFAULT_PARAMS
-from repro.profiling import generate_trace
+from repro.profiles import generate_trace
 
 
 def main() -> None:

@@ -40,6 +40,9 @@ _FACADE = {
     "Tracer": ("repro.obs", "Tracer"),
     "Counters": ("repro.obs", "Counters"),
     "PipelineReport": ("repro.obs", "PipelineReport"),
+    "IRProfile": ("repro.profiles", "IRProfile"),
+    "ProfileStore": ("repro.profiles", "ProfileStore"),
+    "match_profile": ("repro.profiles", "match_profile"),
 }
 
 __all__ = ["__version__", *sorted(_FACADE)]

@@ -29,7 +29,7 @@ from repro.core.funcorder import hfsort_order
 from repro.elf import Executable, PlacedSection, SectionKind, SymbolInfo
 from repro.elf.executable import ExecBlock, ResolvedCall, ResolvedTerminator
 from repro.isa import Opcode, instruction_size
-from repro.profiling import PerfData
+from repro.profiles import PerfData
 
 _JMP_SIZE = instruction_size(Opcode.JMP_LONG)
 

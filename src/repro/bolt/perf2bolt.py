@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis import MemoryMeter
 from repro.bolt.disasm import DisassemblyResult, disassemble
 from repro.elf import Executable
-from repro.profiling import PerfData
+from repro.profiles import PerfData
 
 
 @dataclass

@@ -38,7 +38,7 @@ class CodeGenOptions:
     bb_sections: BBSectionsMode = BBSectionsMode.NONE
     clusters: Optional[Mapping[str, Sequence[Sequence[int]]]] = None
     bb_addr_map: bool = False
-    ir_profile: Optional[object] = None  # repro.profiling.IRProfile (duck-typed)
+    ir_profile: Optional[object] = None  # repro.profiles.IRProfile (duck-typed)
     align_function: int = 16
     #: Callee-saved registers whose CFI must be re-emitted per fragment (§4.4).
     callee_saved_regs: int = 3

@@ -41,11 +41,14 @@ from repro.obs import (
     PipelineReport,
     Tracer,
 )
-from repro.profiling import (
+from repro.profiles import (
+    MATCH_MODES,
     IRProfile,
+    MatchStats,
     PerfData,
     collect_ir_profile,
     generate_trace,
+    match_profile,
     sample_lbr,
 )
 from repro.runtime import ParallelExecutor, default_jobs, resolve_cache_dir
@@ -65,6 +68,14 @@ class PipelineConfig:
     #: blocks the instrumented profile has never seen -- the organic
     #: form of the §2.4 staleness that post-link profiles repair.
     inline_hot: bool = False
+    #: Stale-profile matching mode (``off``/``strict``/``loose``, see
+    #: :mod:`repro.profiles.matching`).  When enabled, the drifted
+    #: instrumented profile is re-attached to the current CFGs (fuzzy
+    #: block matching + flow-conservation count inference) and the
+    #: *recovered* profile feeds the metadata and Propeller builds;
+    #: the baseline build deliberately keeps the stale profile -- it
+    #: models the status-quo PGO deployment the paper measures against.
+    stale_matching: str = "off"
     #: Hardware-profiling run length (taken branches).
     lbr_branches: int = 400_000
     lbr_period: int = 31
@@ -167,6 +178,13 @@ class PipelineResult:
     perf: PerfData
     wpa_result: WPAResult
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Stale-profile matching accounting (``None`` when
+    #: ``config.stale_matching == "off"``).
+    match_stats: Optional[MatchStats] = None
+    #: The re-attached profile the metadata/optimized builds consumed
+    #: (``None`` when matching was off; ``ir_profile`` always holds the
+    #: profile as trained, i.e. the stale one the baseline used).
+    recovered_profile: Optional[IRProfile] = None
     #: Metrics accumulated by the run (cache, scheduler, profile
     #: quality); excluded from :meth:`digest` like all accounting.
     counters: Counters = field(default_factory=Counters)
@@ -213,7 +231,7 @@ class PipelineResult:
         """
         from repro.hwmodel import simulate_frontend
         from repro.hwmodel.frontend import SCALED_PARAMS
-        from repro.profiling import generate_trace
+        from repro.profiles import generate_trace
 
         if params is None:
             params = SCALED_PARAMS
@@ -283,6 +301,7 @@ class PipelineResult:
             counters=snapshot["counters"],
             gauges=snapshot["gauges"],
             frontend=self.frontend_counters() if include_frontend else {},
+            profile_recovery=self.match_stats.as_dict() if self.match_stats else {},
         )
 
     def summary(self) -> str:
@@ -306,6 +325,15 @@ class PipelineResult:
             f"metadata {meta.binary_size}, "
             f"optimized {opt.binary_size}",
         ]
+        if r.profile_recovery:
+            rec = r.profile_recovery
+            lines.append(
+                f"stale matching ({rec['mode']}): match-rate "
+                f"{rec['stale_match_rate']:.2f} -> "
+                f"{rec['recovered_match_rate']:.2f} "
+                f"(exact {rec['matched_exact']}, loose {rec['matched_loose']}, "
+                f"inferred {rec['blocks_inferred']}+{rec['edges_inferred']})"
+            )
         return "\n".join(lines)
 
 
@@ -602,6 +630,30 @@ class PropellerPipeline:
         self._digests.clear()
         return report
 
+    def match_stale_profile(
+        self, profile: IRProfile, mode: Optional[str] = None
+    ) -> Tuple[IRProfile, MatchStats]:
+        """Re-attach ``profile`` to the pipeline's *current* program.
+
+        Runs :func:`repro.profiles.match_profile` in ``mode`` (default:
+        ``config.stale_matching``) and records the ``profile.*`` gauges.
+        Called by :meth:`run` after profile-guided inlining, so the
+        anchors are matched against the CFGs codegen will actually see.
+        """
+        if mode is None:
+            mode = self.config.stale_matching
+        if mode not in MATCH_MODES:
+            raise ValueError(
+                f"unknown stale_matching mode {mode!r}; one of {MATCH_MODES}"
+            )
+        with self.tracer.span("stale-match", category="action") as sp:
+            recovered, stats = match_profile(profile, self.program, mode=mode)
+            sp.note(mode=mode, matched_exact=stats.matched_exact,
+                    matched_loose=stats.matched_loose)
+        for name, value in stats.as_gauges().items():
+            self.counters.gauge(name, value)
+        return recovered, stats
+
     def baseline_options(self, profile: IRProfile) -> CodeGenOptions:
         return CodeGenOptions(ir_profile=profile)
 
@@ -682,7 +734,9 @@ class PropellerPipeline:
         config = self.config
         times: Dict[str, float] = {}
 
-        # Baseline (PGO + ThinLTO equivalent): train, then build.
+        # Baseline (PGO + ThinLTO equivalent): train, then build.  The
+        # baseline consumes the profile as trained -- stale and all --
+        # because it models the status-quo PGO deployment.
         with self.tracer.span("phase:baseline", category="phase"):
             ir_profile = self.collect_pgo_profile()
             times["pgo_profile_run"] = self._pgo_seconds
@@ -695,6 +749,19 @@ class PropellerPipeline:
             )
         times["pgo_instrumented_build"] = baseline.wall_seconds * 0.9  # modelled
         times["opt_build"] = baseline.wall_seconds
+
+        # Stale-profile matching: re-attach the drifted profile to the
+        # current CFGs.  The metadata build deliberately keeps the
+        # stale profile, so the profiled binary -- and with it the
+        # sampled trace, the WPA directives and every cold module's
+        # Phase-2 cache entry -- is bit-identical whether matching is
+        # on or off; the recovered counts are consumed by Phase 4,
+        # which extends cluster layout to the warm functions the
+        # hardware profile's hot set missed (see :meth:`relink`).
+        match_stats: Optional[MatchStats] = None
+        recovered: Optional[IRProfile] = None
+        if config.stale_matching != "off":
+            recovered, match_stats = self.match_stale_profile(ir_profile)
 
         # Phase 1 & 2: build with BB address map metadata.
         with self.tracer.span("phase:metadata-build", category="phase"):
@@ -711,7 +778,7 @@ class PropellerPipeline:
 
         # Phase 4: re-codegen hot modules with clusters, reuse cold objects.
         with self.tracer.span("phase:relink", category="phase"):
-            optimized = self.relink(ir_profile, wpa_result)
+            optimized = self.relink(ir_profile, wpa_result, hot_profile=recovered)
         times["prop_backends"] = optimized.backends.wall_seconds
         times["prop_link"] = optimized.link_seconds
 
@@ -725,26 +792,101 @@ class PropellerPipeline:
             perf=perf,
             wpa_result=wpa_result,
             phase_seconds=times,
+            match_stats=match_stats,
+            recovered_profile=recovered,
             counters=self.counters,
         )
 
-    def relink(self, ir_profile: IRProfile, wpa_result: WPAResult) -> BuildOutcome:
-        """Phase 4 alone (callable with externally computed directives)."""
+    def warm_clusters(
+        self,
+        profile: IRProfile,
+        exclude: Set[str] = frozenset(),
+        min_fraction: float = 1e-4,
+    ) -> Dict[str, List[List[int]]]:
+        """Ext-TSP block clusters for *warm* functions, from IR counts.
+
+        The hardware profile's hot set (``exclude``) already gets WPA
+        clusters; this covers the tier below it -- functions whose
+        recovered instrumented counts carry at least ``min_fraction``
+        of the profile's total weight.  With stale matching on, the
+        inferred counts are complete enough for Ext-TSP to lay the
+        whole warm tier out; with a raw stale profile the dropout
+        zeros starve it (which is the measured difference).
+        """
+        from repro.core.exttsp import ext_tsp_order
+
+        total = sum(sum(c.values()) for c in profile.blocks.values())
+        floor = total * min_fraction
+        clusters: Dict[str, List[List[int]]] = {}
+        for module in self.program.modules:
+            for function in module.functions:
+                name = function.name
+                if name in exclude:
+                    continue
+                counts = profile.block_counts(name)
+                if not counts or sum(counts.values()) < floor:
+                    continue
+                entry_id = function.entry.bb_id
+                hot_ids = [b.bb_id for b in function.blocks
+                           if counts.get(b.bb_id, 0.0) > 0]
+                if entry_id not in hot_ids:
+                    hot_ids.insert(0, entry_id)
+                hot_set = set(hot_ids)
+                nodes = {
+                    b.bb_id: (len(b.instrs) + 1, counts.get(b.bb_id, 0.0))
+                    for b in function.blocks if b.bb_id in hot_set
+                }
+                edges = [(s, d, w)
+                         for (s, d), w in sorted(profile.edge_counts(name).items())
+                         if s in hot_set and d in hot_set]
+                order = ext_tsp_order(nodes, edges, entry=entry_id)
+                if not order or order[0] != entry_id:
+                    continue  # defensive: the section plan needs entry first
+                placed = set(order)
+                order = order + [b.bb_id for b in function.blocks
+                                 if b.bb_id not in placed]
+                clusters[name] = [order]
+        return clusters
+
+    def relink(
+        self,
+        ir_profile: IRProfile,
+        wpa_result: WPAResult,
+        hot_profile: Optional[IRProfile] = None,
+    ) -> BuildOutcome:
+        """Phase 4 alone (callable with externally computed directives).
+
+        ``ir_profile`` must be the profile the metadata build consumed,
+        so that every cold module's Phase-2 object is a cache hit --
+        the economics of the relink (§3.4).  ``hot_profile`` (the
+        stale-matching recovery of ``ir_profile``, when enabled) is
+        consumed only by re-codegen'd modules: it adds
+        :meth:`warm_clusters` for the functions WPA's hot set missed
+        and drives the local layout of unclustered functions there.
+        """
         hot_funcs = set(wpa_result.clusters)
+        extra_clusters: Dict[str, List[List[int]]] = {}
+        if hot_profile is not None:
+            extra_clusters = self.warm_clusters(hot_profile, exclude=hot_funcs)
+        layout_funcs = hot_funcs | set(extra_clusters)
+        module_profile = hot_profile if hot_profile is not None else ir_profile
         per_module_options: Dict[str, CodeGenOptions] = {}
         per_module_tags: Dict[str, str] = {}
         for module in self.program.modules:
-            module_hot = {f.name for f in module.functions} & hot_funcs
+            module_hot = {f.name for f in module.functions} & layout_funcs
             if not module_hot:
                 continue
-            clusters = {fn: wpa_result.clusters[fn] for fn in module_hot}
+            clusters = {
+                fn: wpa_result.clusters.get(fn) or extra_clusters[fn]
+                for fn in module_hot
+            }
             prefetches = {
                 fn: wpa_result.prefetches[fn]
                 for fn in module_hot
                 if fn in wpa_result.prefetches
             }
             per_module_options[module.name] = CodeGenOptions(
-                ir_profile=ir_profile,
+                ir_profile=module_profile,
                 bb_sections=BBSectionsMode.LIST,
                 clusters=clusters,
                 prefetches=prefetches or None,

@@ -38,7 +38,7 @@ from repro.core.exttsp import (
 from repro.core.funcorder import hfsort_order
 from repro.elf import Executable, SectionKind, bbaddrmap
 from repro.obs import NULL_TRACER
-from repro.profiling import PerfData
+from repro.profiles import PerfData
 
 #: Modelled bytes per in-memory structure (for peak-memory accounting).
 _BBMAP_INDEX_ENTRY_BYTES = 16

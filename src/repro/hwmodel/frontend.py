@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.elf import Executable
 from repro.hwmodel.caches import SetAssociativeCache
-from repro.profiling import Trace
+from repro.profiles import Trace
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from typing import List
 import numpy as np
 
 from repro.elf import Executable
-from repro.profiling import Trace
+from repro.profiles import Trace
 
 
 @dataclass

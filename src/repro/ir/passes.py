@@ -155,7 +155,7 @@ def inline_hot_calls(
     Direct calls to small callees whose profile count clears
     ``min_call_count`` are inlined, hottest callees first, until the
     caller has grown by ``max_growth_blocks``.  ``profile`` is an
-    :class:`repro.profiling.IRProfile` (duck-typed:
+    :class:`repro.profiles.IRProfile` (duck-typed:
     ``function_count(name)`` is all that is used).
     """
     report = InlineReport()

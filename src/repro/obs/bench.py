@@ -330,6 +330,12 @@ class SuiteSpec:
     pgo_steps: int
     #: Trace budget (executed blocks) for frontend measurement.
     trace_blocks: int
+    #: (preset name, generation scale) for the stale-profile drift
+    #: sweep; needs a warm tier below WPA's hot set (``search`` has
+    #: one, the small SPEC presets do not).
+    drift_preset: Tuple[str, float] = ("search", 0.006)
+    #: Staleness levels swept by the drift scenario.
+    drift_levels: Tuple[float, ...] = (0.3, 0.5)
 
 
 SUITES: Dict[str, SuiteSpec] = {
@@ -402,7 +408,7 @@ def _pipeline_scenario(preset_name: str, scale: float) -> Scenario:
         from repro.core.pipeline import PropellerPipeline
         from repro.hwmodel import TABLE4_LABELS, simulate_frontend
         from repro.hwmodel.frontend import SCALED_PARAMS
-        from repro.profiling import generate_trace
+        from repro.profiles import generate_trace
 
         program = _generate(ctx, preset_name, scale)
         pipe = PropellerPipeline(program, _pipeline_config(ctx))
@@ -463,6 +469,84 @@ def _pipeline_scenario(preset_name: str, scale: float) -> Scenario:
         name=f"pipeline:{preset_name}",
         title=f"pipeline quality on {preset_name} (scale {scale})",
         paper_ref="Table 3, Table 4/Fig 8, Fig 9",
+        run=run,
+    )
+
+
+def _drift_sweep_scenario(preset_name: str, scale: float,
+                          drifts: Tuple[float, ...]) -> Scenario:
+    """Quality scenario: stale-profile matching across drift levels.
+
+    For each drift level the pipeline runs twice -- ``--stale-matching
+    off`` vs ``loose`` -- on the same program and seed.  What is gated:
+    the recovered match-rate and the simulated cycle improvement of
+    both modes (exact), their gains (exact, higher-is-better), and the
+    headline claim itself: at every swept drift level, ``loose`` must
+    report a strictly higher recovered match-rate *and* a strictly
+    better improvement (``*.loose_wins`` = 1 in the committed
+    baseline).
+    """
+
+    def run(ctx: BenchContext) -> List[Metric]:
+        from repro.core.pipeline import PropellerPipeline
+        from repro.hwmodel import simulate_frontend
+        from repro.hwmodel.frontend import SCALED_PARAMS
+        from repro.profiles import generate_trace
+
+        program = _generate(ctx, preset_name, scale)
+        metrics: List[Metric] = []
+        for drift in drifts:
+            tag = f"drift{drift:g}"
+            rates: Dict[str, float] = {}
+            improvements: Dict[str, float] = {}
+            for mode in ("off", "loose"):
+                config = _pipeline_config(
+                    ctx, pgo_drift=drift, stale_matching=mode)
+                result = PropellerPipeline(program, config).run()
+                report = result.report()
+                if mode == "off":
+                    rates[mode] = report.gauges["pgo.match_rate"]
+                else:
+                    rates[mode] = report.profile_recovery["recovered_match_rate"]
+                cycles = {}
+                for which, outcome in (("baseline", result.baseline),
+                                       ("optimized", result.optimized)):
+                    exe = outcome.executable
+                    trace = generate_trace(
+                        exe, max_blocks=ctx.suite.trace_blocks, seed=77)
+                    cycles[which] = simulate_frontend(
+                        exe, trace, SCALED_PARAMS).cycles
+                improvements[mode] = cycles["baseline"] / cycles["optimized"] - 1.0
+                metrics.append(Metric(
+                    f"{tag}.{mode}.match_rate", rates[mode], "frac",
+                    gate="exact", direction="higher",
+                ))
+                metrics.append(Metric(
+                    f"{tag}.{mode}.improvement", improvements[mode], "frac",
+                    gate="exact", direction="higher",
+                ))
+            metrics.append(Metric(
+                f"{tag}.match_rate_gain", rates["loose"] - rates["off"], "frac",
+                gate="exact", direction="higher",
+            ))
+            metrics.append(Metric(
+                f"{tag}.improvement_gain",
+                improvements["loose"] - improvements["off"], "frac",
+                gate="exact", direction="higher",
+            ))
+            metrics.append(Metric(
+                f"{tag}.loose_wins",
+                int(rates["loose"] > rates["off"]
+                    and improvements["loose"] > improvements["off"]),
+                gate="exact", direction="higher",
+            ))
+        return metrics
+
+    return Scenario(
+        name="profiles:drift-sweep",
+        title=f"stale-profile matching on {preset_name} "
+              f"(scale {scale}, drifts {', '.join(f'{d:g}' for d in drifts)})",
+        paper_ref="§2.4 staleness; Stale Profile Matching (Ayupov et al.)",
         run=run,
     )
 
@@ -588,6 +672,7 @@ def _jobs_scenario() -> Scenario:
 def suite_scenarios(suite: SuiteSpec) -> List[Scenario]:
     """The declarative scenario list for one suite tier."""
     scenarios = [_pipeline_scenario(name, scale) for name, scale in suite.presets]
+    scenarios.append(_drift_sweep_scenario(*suite.drift_preset, suite.drift_levels))
     scenarios.append(_cold_warm_scenario())
     scenarios.append(_jobs_scenario())
     return scenarios

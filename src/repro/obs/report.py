@@ -73,6 +73,11 @@ class PipelineReport:
     #: not simulate the frontend (it is an opt-in measurement, not an
     #: accounting byproduct).
     frontend: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    #: Stale-profile matching accounting (mode, match tiers, inferred
+    #: counts, stale/recovered match rates) when the run enabled
+    #: ``stale_matching``; empty otherwise.  See
+    #: :class:`repro.profiles.MatchStats`.
+    profile_recovery: Mapping[str, Any] = field(default_factory=dict)
     schema_version: int = METRICS_SCHEMA_VERSION
 
     def build(self, name: str) -> BuildStat:
@@ -120,6 +125,7 @@ class PipelineReport:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "frontend": {k: dict(v) for k, v in self.frontend.items()},
+            "profile_recovery": dict(self.profile_recovery),
         }
 
     @classmethod
@@ -141,4 +147,7 @@ class PipelineReport:
             # Additive in schema version 1: absent in payloads written
             # before the frontend scorecard existed.
             frontend={k: dict(v) for k, v in data.get("frontend", {}).items()},
+            # Additive in schema version 1: absent before stale-profile
+            # matching existed.
+            profile_recovery=dict(data.get("profile_recovery", {})),
         )

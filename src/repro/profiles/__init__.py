@@ -1,0 +1,62 @@
+"""Profile subsystem: collection, conversion, staleness and recovery.
+
+The single public entry point for every profile object in the
+toolchain (§2.2, §3.3):
+
+* **Collection** -- :func:`generate_trace` walks a linked binary's
+  execution model; :func:`sample_lbr` captures Intel-LBR-shaped
+  samples from it; :func:`collect_ir_profile` runs the instrumented
+  IR walker that feeds the PGO baseline.
+* **Conversion** -- :func:`convert_to_ir_profile` lifts LBR samples to
+  IR counts through the BB address map (AutoFDO).
+* **Staleness & recovery** -- :meth:`IRProfile.apply_drift` models
+  release skew (§2.4); :func:`match_profile` recovers stale counts via
+  tiered content-hash matching (:mod:`repro.profiles.hashing`) plus
+  flow-conservation inference (:mod:`repro.profiles.matching`); and
+  :class:`ProfileStore` blends profiles across synthetic releases with
+  per-epoch decay.
+
+``repro.profiling`` is the deprecated alias of this package and emits
+a :class:`DeprecationWarning` on import (one release grace).
+"""
+
+from repro.profiles.trace import (
+    BRANCH_KIND_CALL,
+    BRANCH_KIND_COND,
+    BRANCH_KIND_IJMP,
+    BRANCH_KIND_JMP,
+    BRANCH_KIND_RET,
+    Trace,
+    generate_trace,
+)
+from repro.profiles.lbr import LBRSample, PerfData, collect_lbr_profile, sample_lbr
+from repro.profiles.pgo import IRProfile, collect_ir_profile
+from repro.profiles.autofdo import convert_to_ir_profile
+from repro.profiles.hashing import BlockAnchor, function_anchors, program_anchors
+from repro.profiles.matching import MATCH_MODES, MatchStats, match_profile
+from repro.profiles.store import ProfileStore, merge_profiles
+
+__all__ = [
+    "BRANCH_KIND_CALL",
+    "BRANCH_KIND_COND",
+    "BRANCH_KIND_IJMP",
+    "BRANCH_KIND_JMP",
+    "BRANCH_KIND_RET",
+    "Trace",
+    "generate_trace",
+    "LBRSample",
+    "PerfData",
+    "collect_lbr_profile",
+    "sample_lbr",
+    "IRProfile",
+    "collect_ir_profile",
+    "convert_to_ir_profile",
+    "BlockAnchor",
+    "function_anchors",
+    "program_anchors",
+    "MATCH_MODES",
+    "MatchStats",
+    "match_profile",
+    "ProfileStore",
+    "merge_profiles",
+]

@@ -1,0 +1,296 @@
+"""Machine-level execution trace generation.
+
+Walks an executable's resolved execution model
+(:class:`repro.elf.ExecBlock`) following the workload's ground-truth
+probabilities.  Produces the block-visit stream (consumed by the
+micro-architecture model) and the taken-branch stream (consumed by the
+LBR sampler).  Fall-throughs -- not-taken conditional branches and
+deleted jumps -- produce no branch event, which is exactly why layout
+optimizers try to create them.
+
+**Layout invariance.**  Control-flow decisions are not drawn from a
+shared RNG stream: the decision for the k-th execution of basic block
+(f, b) is a hash of ``(seed, f, b, k)``, and two-way choices are
+resolved against successors in canonical (IR block id) order.  Two
+binaries built from the same program therefore execute the *identical*
+sequence of (function, block) pairs, no matter how blocks were
+reordered, split, or condition-inverted -- the same property a fixed
+benchmark input gives the paper's measurements.  Only the derived
+address stream and taken-branch stream differ between layouts, which is
+precisely what the experiments measure.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.elf import Executable
+
+BRANCH_KIND_COND = 0
+BRANCH_KIND_JMP = 1
+BRANCH_KIND_CALL = 2
+BRANCH_KIND_RET = 3
+BRANCH_KIND_IJMP = 4
+
+BRANCH_KIND_NAMES = {
+    BRANCH_KIND_COND: "cond",
+    BRANCH_KIND_JMP: "jmp",
+    BRANCH_KIND_CALL: "call",
+    BRANCH_KIND_RET: "ret",
+    BRANCH_KIND_IJMP: "ijmp",
+}
+
+_MASK64 = (1 << 64) - 1
+_TERM_SLOT = 0xFF
+
+
+def _mix_to_unit(x: int) -> float:
+    """SplitMix64-style finalizer mapped to [0, 1)."""
+    x &= _MASK64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _MASK64
+    x ^= x >> 33
+    return x / 18446744073709551616.0
+
+
+@dataclass
+class Trace:
+    """One profiled run.
+
+    ``block_addrs`` is every basic block executed, in order (the fetch
+    stream).  ``branch_src``/``branch_dst``/``branch_kind`` are the
+    taken control transfers, parallel arrays.
+    """
+
+    block_addrs: List[int] = field(default_factory=list)
+    branch_src: List[int] = field(default_factory=list)
+    branch_dst: List[int] = field(default_factory=list)
+    branch_kind: List[int] = field(default_factory=list)
+    restarts: int = 0
+    executed_count: int = 0
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branch_src)
+
+    @property
+    def num_blocks_executed(self) -> int:
+        return self.executed_count or len(self.block_addrs)
+
+    def taken_branch_count(self) -> int:
+        """Taken branches, the B2 counter of Table 4."""
+        return self.num_branches
+
+
+class _Node:
+    """Precompiled per-block execution behaviour."""
+
+    __slots__ = ("addr", "key", "calls", "term_kind", "choices", "ret_addr", "visits")
+
+    def __init__(self, addr: int, key: int):
+        self.addr = addr
+        self.key = key
+        # calls: list of (cum_targets, src_addr, return_addr);
+        # cum_targets: tuple of (cumulative prob, target addr); a direct
+        # call is a single entry with cum 1.0.
+        self.calls: List[Tuple[Tuple[Tuple[float, int], ...], int, int]] = []
+        self.term_kind = ""
+        # choices: tuple of (cum prob, next addr, event src addr or -1, event kind)
+        self.choices: Tuple[Tuple[float, int, int, int], ...] = ()
+        self.ret_addr = -1
+        self.visits = 0
+
+
+def _compile_nodes(exe: Executable) -> Dict[int, _Node]:
+    by_addr = {b.addr: b for b in exe.exec_blocks}
+    nodes: Dict[int, _Node] = {}
+    func_keys: Dict[str, int] = {}
+    for block in exe.exec_blocks:
+        fkey = func_keys.get(block.func)
+        if fkey is None:
+            fkey = zlib.crc32(block.func.encode())
+            func_keys[block.func] = fkey
+        node = _Node(block.addr, ((fkey << 20) ^ block.bb_id) & _MASK64)
+        for call in block.calls:
+            if call.target is not None:
+                cum = ((1.0, call.target),)
+            elif call.indirect_targets:
+                acc = 0.0
+                entries = []
+                for target, prob in call.indirect_targets:
+                    acc += prob
+                    entries.append((acc, target))
+                entries[-1] = (1.0 + 1e-9, entries[-1][1])
+                cum = tuple(entries)
+            else:
+                continue
+            node.calls.append((cum, call.addr, call.return_addr))
+        term = block.term
+        kind = term.kind
+        node.term_kind = kind
+        if kind == "condbr":
+            if term.uncond_target is not None:
+                ft_next = term.uncond_target
+                ft_evt = (term.uncond_br_addr, BRANCH_KIND_JMP)
+            else:
+                ft_next = block.addr + block.size
+                ft_evt = (-1, 0)
+            arms = [
+                # (successor bb id for canonical order, prob, next, evt)
+                (
+                    by_addr[term.cond_target].bb_id,
+                    term.cond_prob,
+                    term.cond_target,
+                    (term.cond_br_addr, BRANCH_KIND_COND),
+                ),
+                (by_addr[ft_next].bb_id, 1.0 - term.cond_prob, ft_next, ft_evt),
+            ]
+            arms.sort(key=lambda a: a[0])
+            acc = 0.0
+            choices = []
+            for _bb, prob, nxt, (evt_src, evt_kind) in arms:
+                acc += prob
+                choices.append((acc, nxt, evt_src, evt_kind))
+            choices[-1] = (1.0 + 1e-9, *choices[-1][1:])
+            node.choices = tuple(choices)
+        elif kind == "jump":
+            node.choices = (
+                (2.0, term.uncond_target, term.uncond_br_addr, BRANCH_KIND_JMP),
+            )
+        elif kind == "fallthrough":
+            node.choices = ((2.0, block.addr + block.size, -1, 0),)
+        elif kind == "ijmp":
+            acc = 0.0
+            choices = []
+            for target, prob in term.ijmp_targets:
+                acc += prob
+                choices.append((acc, target, term.end_instr_addr, BRANCH_KIND_IJMP))
+            if choices:
+                choices[-1] = (2.0, *choices[-1][1:])
+            node.choices = tuple(choices)
+        elif kind == "ret":
+            node.ret_addr = term.end_instr_addr
+        # trap: handled by kind alone
+        nodes[block.addr] = node
+    return nodes
+
+
+def generate_trace(
+    exe: Executable,
+    max_branches: int = 100_000,
+    seed: int = 0,
+    record_blocks: bool = True,
+    max_blocks: Optional[int] = None,
+) -> Trace:
+    """Execute ``exe`` from its entry point.
+
+    The run stops after ``max_branches`` taken branches, or -- when
+    ``max_blocks`` is given -- after that many basic blocks have
+    executed.  **Performance comparisons must budget by blocks**: the
+    block-visit sequence is layout-invariant, so a fixed block budget
+    holds work constant while the number of taken branches varies with
+    layout quality.  Budgeting by branches would hold the B2 counter
+    constant by construction.
+
+    When the program returns from its entry function (or hits a trap)
+    the run restarts, modelling a driver invoking the workload in a
+    loop; ``Trace.restarts`` counts these.
+    """
+    trace = Trace()
+    block_addrs = trace.block_addrs
+    src = trace.branch_src
+    dst = trace.branch_dst
+    kinds = trace.branch_kind
+    nodes = _compile_nodes(exe)
+    entry = exe.entry
+    seed_mixed = (seed * 0x9E3779B97F4A7C15) & _MASK64
+    if max_blocks is not None:
+        max_branches = 1 << 62  # blocks are the binding budget
+    blocks_executed = 0
+
+    # Explicit frame stack of (resume block addr, resume call idx, return addr).
+    frames: List[Tuple[int, int, int]] = []
+    addr = entry
+    call_idx = 0
+    while len(src) < max_branches:
+        node = nodes[addr]
+        if call_idx == 0:
+            if max_blocks is not None and blocks_executed >= max_blocks:
+                break
+            blocks_executed += 1
+            node.visits += 1
+            if record_blocks:
+                block_addrs.append(addr)
+        calls = node.calls
+        transferred = False
+        while call_idx < len(calls):
+            cum_targets, site_addr, return_addr = calls[call_idx]
+            call_idx += 1
+            if len(cum_targets) == 1:
+                target = cum_targets[0][1]
+            else:
+                v = _mix_to_unit(
+                    seed_mixed
+                    + node.key * 0xBF58476D1CE4E5B9
+                    + node.visits * 0x94D049BB133111EB
+                    + call_idx
+                )
+                target = cum_targets[-1][1]
+                for cum, t in cum_targets:
+                    if v < cum:
+                        target = t
+                        break
+            src.append(site_addr)
+            dst.append(target)
+            kinds.append(BRANCH_KIND_CALL)
+            frames.append((addr, call_idx, return_addr))
+            addr, call_idx = target, 0
+            transferred = True
+            break
+        if transferred:
+            continue
+
+        kind = node.term_kind
+        if kind in ("condbr", "jump", "fallthrough", "ijmp"):
+            choices = node.choices
+            if len(choices) == 1:
+                _cum, nxt, evt_src, evt_kind = choices[0]
+            else:
+                v = _mix_to_unit(
+                    seed_mixed
+                    + node.key * 0xBF58476D1CE4E5B9
+                    + node.visits * 0x94D049BB133111EB
+                    + _TERM_SLOT
+                )
+                nxt = evt_src = evt_kind = None
+                for cum, c_next, c_src, c_kind in choices:
+                    if v < cum:
+                        nxt, evt_src, evt_kind = c_next, c_src, c_kind
+                        break
+            if evt_src >= 0:
+                src.append(evt_src)
+                dst.append(nxt)
+                kinds.append(evt_kind)
+            addr, call_idx = nxt, 0
+        elif kind == "ret":
+            if frames:
+                ret_block_addr, resume_idx, return_addr = frames.pop()
+                src.append(node.ret_addr)
+                dst.append(return_addr)
+                kinds.append(BRANCH_KIND_RET)
+                addr, call_idx = ret_block_addr, resume_idx
+            else:
+                trace.restarts += 1
+                addr, call_idx = entry, 0
+        elif kind == "trap":
+            trace.restarts += 1
+            frames.clear()
+            addr, call_idx = entry, 0
+        else:
+            raise ValueError(f"unknown terminator kind {kind!r}")
+    trace.executed_count = blocks_executed
+    return trace

@@ -1,26 +1,37 @@
-"""Profiling substrate: execution traces, LBR sampling, PGO profiles.
+"""Deprecated alias of :mod:`repro.profiles` (one release grace).
 
-Stands in for "run the binary under representative load and sample it
-with Linux perf" (§3.3).  The trace generator walks the linked
-executable's resolved execution model using the workload's ground-truth
-branch probabilities; the LBR sampler captures last-32-taken-branch
-records at a fixed period, exactly mirroring Intel LBR semantics; and
-the IR-level walker produces the instrumented PGO profile the baseline
-build consumes.
+The profile layer moved behind the unified ``repro.profiles`` entry
+point (collection, AutoFDO conversion, staleness modelling and
+stale-profile matching in one subsystem); these shims keep old import
+paths working while steering callers to the new ones.  Internal code
+must not use them: the tier-1 pytest configuration promotes this
+warning to an error.
 """
 
-from repro.profiling.trace import (
+import warnings as _warnings
+
+_warnings.warn(
+    "repro.profiling is deprecated; import repro.profiles instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.profiles import (  # noqa: E402
     BRANCH_KIND_CALL,
     BRANCH_KIND_COND,
     BRANCH_KIND_IJMP,
     BRANCH_KIND_JMP,
     BRANCH_KIND_RET,
+    IRProfile,
+    LBRSample,
+    PerfData,
     Trace,
+    collect_ir_profile,
+    collect_lbr_profile,
+    convert_to_ir_profile,
     generate_trace,
+    sample_lbr,
 )
-from repro.profiling.lbr import LBRSample, PerfData, collect_lbr_profile, sample_lbr
-from repro.profiling.pgo import IRProfile, collect_ir_profile
-from repro.profiling.autofdo import convert_to_ir_profile
 
 __all__ = [
     "BRANCH_KIND_CALL",

@@ -1,227 +1,11 @@
-"""Instrumented PGO profiles at the IR level (§2.2).
+"""Deprecated alias of :mod:`repro.profiles.pgo` (one release grace)."""
 
-The baseline build in the paper is PGO (+ ThinLTO): an instrumented
-binary runs a load test and edge counters feed the second build.  Here
-the instrumented run is a seeded random walk over the IR CFG with the
-same call/return semantics as the machine-level tracer.
+import warnings as _warnings
 
-``drift`` models the staleness the paper attributes to instrumented
-profiles (§2.4: "post link profiles fix inaccuracies accrued by
-instrumented profiles as optimizations transform the source"): counts
-are multiplicatively perturbed before being handed to the compiler.
-"""
+_warnings.warn(
+    "repro.profiling.pgo is deprecated; import repro.profiles.pgo instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-from __future__ import annotations
-
-import hashlib
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-from repro import ir
-from repro.ir import cfg as ir_cfg
-
-
-@dataclass
-class IRProfile:
-    """Edge and block counts per function, keyed by IR block ids."""
-
-    edges: Dict[str, Dict[Tuple[int, int], float]] = field(default_factory=dict)
-    blocks: Dict[str, Dict[int, float]] = field(default_factory=dict)
-    call_counts: Dict[str, float] = field(default_factory=dict)
-    #: Profile-quality accounting, filled by :meth:`apply_drift`: how
-    #: many nonzero edge/block entries the unperturbed profile had, and
-    #: how many of them dropout zeroed.  These never enter
-    #: :meth:`digest` -- they describe provenance, not content.
-    source_entries: int = 0
-    dropped_entries: int = 0
-
-    def edge_counts(self, func: str) -> Dict[Tuple[int, int], float]:
-        return self.edges.get(func, {})
-
-    def block_counts(self, func: str) -> Dict[int, float]:
-        return self.blocks.get(func, {})
-
-    def function_count(self, func: str) -> float:
-        return self.call_counts.get(func, 0.0)
-
-    @property
-    def match_rate(self) -> float:
-        """Fraction of the source profile's nonzero counts that survived
-        drift/dropout -- the "profile match rate" practitioners use as
-        the first staleness indicator.  1.0 for an unperturbed profile.
-        """
-        source = getattr(self, "source_entries", 0)
-        if not source:
-            return 1.0
-        return 1.0 - getattr(self, "dropped_entries", 0) / source
-
-    def hot_functions(self, threshold: float = 0.0) -> List[str]:
-        return sorted(
-            (f for f, c in self.call_counts.items() if c > threshold),
-            key=lambda f: -self.call_counts[f],
-        )
-
-    def digest(self) -> str:
-        """SHA-256 over the full profile content, bit-exact on counts.
-
-        Part of every codegen action's cache key: the profile steers
-        block layout, so two actions over the same module with
-        different profiles must never share a cache entry (the
-        in-memory cache never outlived one profile; a persistent one
-        does).  Floats are hashed via ``float.hex()`` -- exact, no
-        formatting rounding.  Memoized: profiles are built once and
-        never mutated afterwards by the pipeline.
-        """
-        memo = getattr(self, "_digest_memo", None)
-        if memo is not None:
-            return memo
-        h = hashlib.sha256()
-        for func in sorted(self.edges):
-            h.update(b"\x00E")
-            h.update(func.encode())
-            for (src, dst), count in sorted(self.edges[func].items()):
-                h.update(f"{src}:{dst}:{float(count).hex()};".encode())
-        for func in sorted(self.blocks):
-            h.update(b"\x00B")
-            h.update(func.encode())
-            for bb_id, count in sorted(self.blocks[func].items()):
-                h.update(f"{bb_id}:{float(count).hex()};".encode())
-        for func in sorted(self.call_counts):
-            h.update(f"\x00C{func}:{float(self.call_counts[func]).hex()}".encode())
-        digest = h.hexdigest()
-        object.__setattr__(self, "_digest_memo", digest)
-        return digest
-
-    def apply_drift(
-        self, drift: float, seed: int = 0, dropout: Optional[float] = None
-    ) -> "IRProfile":
-        """Return a perturbed copy modelling profile staleness (§2.4).
-
-        Two effects are modelled.  Multiplicative log-normal noise of
-        width ``drift`` distorts relative counts (training inputs never
-        match production exactly).  ``dropout`` -- defaulting to
-        ``drift`` -- zeroes each edge/block count with that
-        probability, modelling counts orphaned by the transformations
-        (inlining, CFG restructuring) between instrumentation and final
-        code generation; a dropped hot block is laid out as if cold,
-        which is precisely the inaccuracy post-link profiles repair.
-        """
-        if drift <= 0:
-            return self
-        if dropout is None:
-            dropout = drift
-        rng = random.Random(seed)
-        out = IRProfile(call_counts=dict(self.call_counts))
-        source = 0
-        dropped = 0
-
-        def perturb(counts):
-            # One rng.random() per entry, lognormvariate only for
-            # survivors: the exact draw order the seeded outputs are
-            # pinned to (see tests/golden).
-            nonlocal source, dropped
-            result = {}
-            for key, count in counts.items():
-                if count > 0:
-                    source += 1
-                if rng.random() < dropout:
-                    if count > 0:
-                        dropped += 1
-                    result[key] = 0.0
-                else:
-                    result[key] = count * rng.lognormvariate(0.0, drift)
-            return result
-
-        for func, edges in self.edges.items():
-            out.edges[func] = perturb(edges)
-        for func, blocks in self.blocks.items():
-            out.blocks[func] = perturb(blocks)
-        out.source_entries = source
-        out.dropped_entries = dropped
-        return out
-
-
-def collect_ir_profile(
-    program: ir.Program, max_steps: int = 200_000, seed: int = 0, drift: float = 0.0
-) -> IRProfile:
-    """Run the instrumented IR interpreter and gather edge counts."""
-    profile = IRProfile()
-    rng = random.Random(seed)
-    edges = profile.edges
-    blocks = profile.blocks
-    calls = profile.call_counts
-
-    func_cache: Dict[str, ir.Function] = {}
-
-    def function(name: str) -> ir.Function:
-        fn = func_cache.get(name)
-        if fn is None:
-            fn = program.function(name)
-            func_cache[name] = fn
-        return fn
-
-    entry_name = program.entry_function
-    # Frames: (function name, block id, index of next call instr to process).
-    frames: List[Tuple[str, int, int]] = []
-    fname, bb_id, call_idx = entry_name, 0, 0
-    calls[entry_name] = calls.get(entry_name, 0.0) + 1
-    steps = 0
-    while steps < max_steps:
-        steps += 1
-        fn = function(fname)
-        block = fn.block(bb_id)
-        if call_idx == 0:
-            fblocks = blocks.setdefault(fname, {})
-            fblocks[bb_id] = fblocks.get(bb_id, 0.0) + 1
-
-        transferred = False
-        instrs = block.instrs
-        while call_idx < len(instrs):
-            instr = instrs[call_idx]
-            call_idx += 1
-            if not isinstance(instr, ir.Call):
-                continue
-            if instr.callee is not None:
-                target = instr.callee
-            elif instr.indirect_targets:
-                r = rng.random()
-                acc = 0.0
-                target = instr.indirect_targets[-1][0]
-                for name, prob in instr.indirect_targets:
-                    acc += prob
-                    if r < acc:
-                        target = name
-                        break
-            else:
-                continue
-            calls[target] = calls.get(target, 0.0) + 1
-            frames.append((fname, bb_id, call_idx))
-            fname, bb_id, call_idx = target, function(target).entry.bb_id, 0
-            transferred = True
-            break
-        if transferred:
-            continue
-
-        term = block.term
-        if isinstance(term, ir.Ret) or isinstance(term, ir.Unreachable):
-            if frames:
-                fname, bb_id, call_idx = frames.pop()
-            else:
-                fname, bb_id, call_idx = entry_name, 0, 0
-                calls[entry_name] += 1
-            continue
-        successors = ir_cfg.successor_edges(block)
-        r = rng.random()
-        acc = 0.0
-        nxt = successors[-1][0]
-        for succ, prob in successors:
-            acc += prob
-            if r < acc:
-                nxt = succ
-                break
-        fedges = edges.setdefault(fname, {})
-        key = (bb_id, nxt)
-        fedges[key] = fedges.get(key, 0.0) + 1
-        bb_id, call_idx = nxt, 0
-    return profile
+from repro.profiles.pgo import IRProfile, collect_ir_profile  # noqa: E402,F401

@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.analysis import Table, format_bytes
 from repro.core.pipeline import PipelineConfig, PropellerPipeline
 from repro.obs.log import configure_logging, get_logger
+from repro.profiles import MATCH_MODES
 from repro.synth import ALL_PRESETS, PRESETS, generate_workload
 from repro.tools.io import load_perf_data, load_program, save_perf_data, save_program
 
@@ -51,6 +52,7 @@ PIPELINE_FLAG_FIELDS = {
     "jobs": "jobs",
     "cache_dir": "cache_dir",
     "enforce_ram": "enforce_ram",
+    "stale_matching": "stale_matching",
 }
 
 
@@ -73,6 +75,12 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--enforce-ram", action=argparse.BooleanOptionalAction,
                         default=_DEFAULTS.enforce_ram,
                         help="apply the per-action RAM limit (remote builds)")
+    parser.add_argument("--stale-matching",
+                        choices=list(MATCH_MODES),
+                        default=_DEFAULTS.stale_matching,
+                        help="recover stale instrumented-profile counts by "
+                             "fuzzy block matching + count inference before "
+                             "the metadata/Propeller builds")
 
 
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
@@ -177,7 +185,7 @@ def cmd_compare(args) -> int:
     from repro.bolt import BoltError, BoltStartupCrash, check_startup, run_bolt
     from repro.hwmodel import simulate_frontend
     from repro.hwmodel.frontend import DEFAULT_PARAMS
-    from repro.profiling import generate_trace
+    from repro.profiles import generate_trace
 
     program = load_program(args.program)
     pipe = PropellerPipeline(program, _config(args))

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from repro import ir
-from repro.profiling import LBRSample, PerfData
+from repro.profiles import LBRSample, PerfData
 
 _MAGIC = b"RLBR"
 _VERSION = 1

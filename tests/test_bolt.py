@@ -14,7 +14,7 @@ from repro.bolt import (
 )
 from repro.core.pipeline import PipelineConfig, PropellerPipeline
 from repro.core.wpa import analyze
-from repro.profiling import generate_trace
+from repro.profiles import generate_trace
 from repro.synth import PRESETS, generate_workload
 
 

@@ -10,7 +10,7 @@ from repro.hwmodel import (
     simulate_frontend,
 )
 from repro.hwmodel.frontend import DEFAULT_PARAMS
-from repro.profiling import generate_trace
+from repro.profiles import generate_trace
 
 
 class TestCache:
@@ -160,7 +160,7 @@ class TestHeatmap:
         assert len(art.splitlines()) > 2
 
     def test_empty_trace_rejected(self, pipeline_result):
-        from repro.profiling import Trace
+        from repro.profiles import Trace
 
         with pytest.raises(ValueError):
             record_heatmap(pipeline_result.baseline.executable, Trace())

@@ -23,7 +23,7 @@ SUBPACKAGES = [
     "repro.isa",
     "repro.linker",
     "repro.obs",
-    "repro.profiling",
+    "repro.profiles",
     "repro.synth",
     "repro.tools",
 ]
@@ -42,7 +42,7 @@ class TestImportIsolation:
         """`import repro.core.exttsp` must not load linker/profiling/obs."""
         _run(
             "import repro.core.exttsp, repro.core.bbsections, sys\n"
-            "for bad in ('repro.linker', 'repro.profiling',\n"
+            "for bad in ('repro.linker', 'repro.profiles',\n"
             "            'repro.core.pipeline', 'repro.buildsys', 'repro.obs'):\n"
             "    assert bad not in sys.modules, bad\n"
         )
@@ -51,7 +51,7 @@ class TestImportIsolation:
         """The observability layer must not drag in the toolchain."""
         _run(
             "import repro.obs, sys\n"
-            "for bad in ('repro.core', 'repro.linker', 'repro.profiling',\n"
+            "for bad in ('repro.core', 'repro.linker', 'repro.profiles',\n"
             "            'repro.buildsys', 'repro.runtime', 'repro.analysis'):\n"
             "    assert bad not in sys.modules, bad\n"
         )

@@ -12,7 +12,7 @@ from repro.core.pipeline import PipelineConfig, PropellerPipeline
 from repro.core.wpa import WPAOptions, analyze
 from repro.hwmodel import simulate_frontend
 from repro.hwmodel.frontend import DEFAULT_PARAMS
-from repro.profiling import generate_trace
+from repro.profiles import generate_trace
 from repro.synth import PRESETS, generate_workload
 
 pytestmark = [pytest.mark.slow, pytest.mark.integration]

@@ -69,7 +69,7 @@ class TestDegenerateShapes:
         ])
         compiled = compile_module(ir.Module(name="m", functions=[fn]), CodeGenOptions())
         exe = link([compiled.obj], LinkOptions(entry_symbol="spin")).executable
-        from repro.profiling import generate_trace
+        from repro.profiles import generate_trace
 
         trace = generate_trace(exe, max_blocks=100, seed=1)
         assert trace.num_blocks_executed == 100
@@ -87,7 +87,7 @@ class TestDegenerateShapes:
         ])
         compiled = compile_module(ir.Module(name="m", functions=[fn]), CodeGenOptions())
         exe = link([compiled.obj], LinkOptions(entry_symbol="trap")).executable
-        from repro.profiling import generate_trace
+        from repro.profiles import generate_trace
 
         trace = generate_trace(exe, max_blocks=10, seed=1)
         assert trace.restarts > 0

@@ -12,7 +12,7 @@ from repro.ir.passes import (
     eliminate_unreachable_blocks,
     inline_hot_calls,
 )
-from repro.profiling import IRProfile
+from repro.profiles import IRProfile
 
 
 def _callee(name="leaf", blocks=2):
@@ -178,7 +178,7 @@ class TestInlining:
         """The inlined program executes the same computation."""
         from repro.codegen import CodeGenOptions, compile_program
         from repro.linker import LinkOptions, link
-        from repro.profiling import generate_trace
+        from repro.profiles import generate_trace
 
         program = _program(_caller(), _callee())
         inlined = clone_program(program)

@@ -52,7 +52,7 @@ class TestCodegen:
         assert block0.prefetch_targets == (exe.symbols["callee"].addr,)
 
     def test_trace_unaffected_by_prefetch(self):
-        from repro.profiling import generate_trace
+        from repro.profiles import generate_trace
 
         plain = compile_module(_module(), CodeGenOptions())
         pf = compile_module(
@@ -122,7 +122,7 @@ class TestEndToEnd:
     def test_prefetch_does_not_regress(self, small_program):
         from repro.hwmodel import simulate_frontend
         from repro.hwmodel.frontend import DEFAULT_PARAMS
-        from repro.profiling import generate_trace
+        from repro.profiles import generate_trace
 
         base_cfg = PipelineConfig(lbr_branches=120_000, pgo_steps=60_000,
                                   enforce_ram=False)

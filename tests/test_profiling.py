@@ -4,13 +4,13 @@ import pytest
 
 from repro.codegen import BBSectionsMode, CodeGenOptions, compile_program
 from repro.linker import LinkOptions, link
-from repro.profiling import (
+from repro.profiles import (
     IRProfile,
     collect_ir_profile,
     generate_trace,
     sample_lbr,
 )
-from repro.profiling.lbr import LBR_DEPTH
+from repro.profiles.lbr import LBR_DEPTH
 from repro.synth import PRESETS, generate_workload
 
 
@@ -138,9 +138,13 @@ class TestIRProfile:
                 assert fn.has_block(src)
                 assert fn.has_block(dst)
 
-    def test_drift_zero_is_identity(self, program):
+    def test_drift_zero_is_equal_copy(self, program):
         profile = collect_ir_profile(program, max_steps=5_000, seed=2)
-        assert profile.apply_drift(0.0) is profile
+        out = profile.apply_drift(0.0)
+        assert out is not profile
+        assert out.edges == profile.edges
+        assert out.blocks == profile.blocks
+        assert out.call_counts == profile.call_counts
 
     def test_drift_perturbs_and_drops(self, program):
         profile = collect_ir_profile(program, max_steps=20_000, seed=2)

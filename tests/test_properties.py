@@ -9,7 +9,7 @@ from repro import ir
 from repro.codegen import BBSectionsMode, CodeGenOptions, compile_module
 from repro.core.exttsp import ext_tsp_order, ext_tsp_score
 from repro.linker import LinkOptions, link
-from repro.profiling import generate_trace
+from repro.profiles import generate_trace
 
 
 # ----------------------------------------------------------------------

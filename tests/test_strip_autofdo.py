@@ -7,7 +7,7 @@ from repro.codegen import CodeGenOptions, compile_program
 from repro.core.pipeline import PipelineConfig, PropellerPipeline
 from repro.elf.strip import StripError, strip_executable
 from repro.linker import LinkOptions, link
-from repro.profiling import collect_lbr_profile, convert_to_ir_profile
+from repro.profiles import collect_lbr_profile, convert_to_ir_profile
 
 
 class TestStrip:

@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.ir import verify_program
 from repro.ir.digest import module_digest
-from repro.profiling import LBRSample, PerfData
+from repro.profiles import LBRSample, PerfData
 from repro.synth import PRESETS, generate_workload
 from repro.tools import (
     load_perf_data,

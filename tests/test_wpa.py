@@ -7,7 +7,7 @@ from repro.codegen import CodeGenOptions, compile_program
 from repro.core import bbsections
 from repro.core.wpa import WPAOptions, _merge_superblocks, analyze
 from repro.linker import LinkOptions, link
-from repro.profiling import collect_lbr_profile
+from repro.profiles import collect_lbr_profile
 from repro.synth import PRESETS, generate_workload
 
 
