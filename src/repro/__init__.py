@@ -43,6 +43,8 @@ _FACADE = {
     "IRProfile": ("repro.profiles", "IRProfile"),
     "ProfileStore": ("repro.profiles", "ProfileStore"),
     "match_profile": ("repro.profiles", "match_profile"),
+    "FaultPlan": ("repro.faults", "FaultPlan"),
+    "FaultClock": ("repro.faults", "FaultClock"),
 }
 
 __all__ = ["__version__", *sorted(_FACADE)]

@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.faults import FaultClock, FaultPlan, RetriesExhausted
 from repro.obs import Counters
 from repro.runtime import ParallelExecutor, PersistentActionStore, resolve_cache_dir
 
@@ -124,7 +125,10 @@ class ActionCache:
     a key missing from process memory is then looked up on disk, and
     every stored entry is also written through to disk, so later
     *processes* replay this run's actions the way later *phases* replay
-    earlier ones.  An unreadable disk entry degrades to a miss.
+    earlier ones.  Disk hits are digest-verified by the store: an
+    unreadable, truncated or poisoned entry is quarantined and degrades
+    to a miss, so cache poisoning can cost a recompute but never
+    changes an artifact.
     """
 
     def __init__(
@@ -196,6 +200,15 @@ class BuildSystem:
         (the default) keeps the cache in-memory only.
     :param counters: metrics sink shared with the cache, the store and
         the scheduler; a fresh :class:`~repro.obs.Counters` by default.
+    :param fault_plan: when given, executed actions are subject to the
+        plan's deterministic failure/timeout/corruption/slowdown
+        schedule (see :mod:`repro.faults`): faulted attempts are
+        retried with exponential backoff up to the plan's budget, the
+        wasted simulated time lands on the action's ``cost_seconds``,
+        and an action whose whole budget faults raises
+        :class:`~repro.faults.RetriesExhausted`.  Artifacts and cache
+        state are plan-invariant by construction -- the compute runs
+        once and the cache stores the clean cost.
     """
 
     def __init__(
@@ -205,6 +218,7 @@ class BuildSystem:
         enforce_ram: bool = True,
         cache_dir: "Optional[str | os.PathLike]" = None,
         counters: Optional[Counters] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -212,6 +226,10 @@ class BuildSystem:
         self.ram_limit = ram_limit
         self.enforce_ram = enforce_ram
         self.counters = counters if counters is not None else Counters()
+        self.fault_plan = fault_plan
+        #: Simulated-time ledger of injected faults and retries (free
+        #: pass-through when no plan is set).
+        self.faults = FaultClock(fault_plan, counters=self.counters)
         store = (
             PersistentActionStore(cache_dir, counters=self.counters)
             if cache_dir is not None else None
@@ -231,6 +249,20 @@ class BuildSystem:
         self.cache.evict_all()
 
     # -- execution ----------------------------------------------------
+
+    def _charge_faults(self, kind: str, key: str, cost_seconds: float) -> float:
+        """The fault-adjusted simulated cost of one executed action.
+
+        Cache hits never come here: faults model remote *execution*,
+        and the disk store's own digest verification covers the
+        fetch-integrity side (see :mod:`repro.runtime.cache`).
+        """
+        ledger = self.faults.charge(kind, key, cost_seconds)
+        if not ledger.ok:
+            raise RetriesExhausted(kind=kind, key=key,
+                                   attempts=ledger.attempts,
+                                   events=ledger.events)
+        return ledger.seconds
 
     def run_action(
         self,
@@ -262,13 +294,16 @@ class BuildSystem:
         if remote and self.enforce_ram and peak_memory > self.ram_limit:
             self.counters.incr("ram.rejections")
             raise ResourceLimitExceeded(kind, needed=peak_memory, limit=self.ram_limit)
+        # Faults inflate the executed cost; the cache stores the clean
+        # cost so a warm replay of a once-faulted action is unaffected.
+        charged_seconds = self._charge_faults(kind, key, cost_seconds)
         self.cache.store(
             key, _CacheEntry(value=value, cost_seconds=cost_seconds,
                              peak_memory=peak_memory)
         )
         return ActionResult(
             value=value,
-            cost_seconds=cost_seconds,
+            cost_seconds=charged_seconds,
             peak_memory=peak_memory,
             cache_hit=False,
             key=key,
@@ -304,6 +339,7 @@ class BuildSystem:
         self.counters.incr("executor.batch_tasks", len(items))
         self.counters.incr("executor.batch_misses", len(miss_idx))
         self.counters.max_gauge("executor.max_queue_depth", len(miss_idx))
+        charged: Dict[int, float] = {}
         if miss_idx:
             tasks = [(items[i][1], items[i][2]) for i in miss_idx]
             if executor is not None:
@@ -316,6 +352,10 @@ class BuildSystem:
                     raise ResourceLimitExceeded(
                         kind, needed=peak_memory, limit=self.ram_limit
                     )
+                # Fault charges are drawn per action *digest*, never per
+                # schedule slot, so this serial walk accrues exactly the
+                # faults any parallel execution of the batch would.
+                charged[i] = self._charge_faults(kind, keys[i], cost_seconds)
                 entry = _CacheEntry(
                     value=value, cost_seconds=cost_seconds, peak_memory=peak_memory
                 )
@@ -328,7 +368,7 @@ class BuildSystem:
             results.append(
                 ActionResult(
                     value=entry.value,
-                    cost_seconds=CACHE_HIT_SECONDS if hit else entry.cost_seconds,
+                    cost_seconds=CACHE_HIT_SECONDS if hit else charged[i],
                     peak_memory=entry.peak_memory,
                     cache_hit=hit,
                     key=keys[i],

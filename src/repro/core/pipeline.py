@@ -29,8 +29,9 @@ from repro.analysis import MemoryMeter
 from repro.buildsys import BuildSystem, PhaseReport
 from repro.codegen import BBSectionsMode, CodeGenOptions, compile_action
 from repro.core import wpa as wpa_mod
-from repro.core.wpa import WPAOptions, WPAResult
+from repro.core.wpa import WPAOptions, WPAResult, WPAStats
 from repro.elf import Executable, ObjectFile
+from repro.faults import FaultPlan, RetriesExhausted
 from repro.ir.digest import module_digest
 from repro.linker import LinkOptions, LinkResult, LinkStats, link
 from repro.obs import (
@@ -96,6 +97,17 @@ class PipelineConfig:
     #: to the ``REPRO_CACHE_DIR`` environment variable; when neither is
     #: set, caching is in-memory only and runs start cold, as before.
     cache_dir: Optional[str] = None
+    #: Deterministic fault-injection plan (see :mod:`repro.faults`):
+    #: a compact spec string (``"fail=0.02,timeout=0.01,seed=7"``), the
+    #: path of a plan JSON file, or ``None`` for no injection.  A plan
+    #: changes simulated durations and the ``faults.*``/``retry.*``
+    #: counters, never any artifact: ``PipelineResult.digest()`` is
+    #: bit-identical with any non-exhausting plan on or off.  When a
+    #: whole retry budget is exhausted for profile collection, WPA or
+    #: the relink, the run degrades instead of failing
+    #: (``PipelineResult.degraded``); a product build that exhausts
+    #: raises :class:`repro.faults.RetriesExhausted`.
+    fault_plan: Optional[str] = None
     #: Record phase/batch/action spans (see :mod:`repro.obs`).  Off by
     #: default: the pipeline then runs against the shared no-op tracer
     #: and the instrumented paths cost nothing.  Tracing never changes
@@ -188,6 +200,13 @@ class PipelineResult:
     #: Metrics accumulated by the run (cache, scheduler, profile
     #: quality); excluded from :meth:`digest` like all accounting.
     counters: Counters = field(default_factory=Counters)
+    #: True when some stage exhausted its fault-retry budget and the
+    #: pipeline fell back (empty profile, baseline layout, ...) instead
+    #: of failing.  Degradation is honest: the flag and its reasons ride
+    #: on the report, and the ``faults.degraded`` counter matches.
+    degraded: bool = False
+    #: One entry per degraded stage, e.g. ``("lbr-profile",)``.
+    degraded_reasons: Tuple[str, ...] = ()
 
     @property
     def pct_hot_objects(self) -> float:
@@ -302,6 +321,8 @@ class PipelineResult:
             gauges=snapshot["gauges"],
             frontend=self.frontend_counters() if include_frontend else {},
             profile_recovery=self.match_stats.as_dict() if self.match_stats else {},
+            degraded=self.degraded,
+            degraded_reasons=self.degraded_reasons,
         )
 
     def summary(self) -> str:
@@ -334,6 +355,8 @@ class PipelineResult:
                 f"(exact {rec['matched_exact']}, loose {rec['matched_loose']}, "
                 f"inferred {rec['blocks_inferred']}+{rec['edges_inferred']})"
             )
+        if r.degraded:
+            lines.append(f"DEGRADED: {', '.join(r.degraded_reasons)}")
         return "\n".join(lines)
 
 
@@ -365,6 +388,7 @@ class PropellerPipeline:
             ram_limit=config.ram_limit,
             enforce_ram=config.enforce_ram,
             cache_dir=resolve_cache_dir(config.cache_dir),
+            fault_plan=FaultPlan.resolve(config.fault_plan),
         )
         self.counters: Counters = self.buildsys.counters
         self.jobs = config.jobs if config.jobs is not None else default_jobs(config.workers)
@@ -729,16 +753,47 @@ class PropellerPipeline:
         )
         return result
 
+    def _degrade(self, reason: str, exc: RetriesExhausted,
+                 reasons: List[str]) -> None:
+        """Record one graceful degradation (see ``PipelineConfig.fault_plan``)."""
+        reasons.append(reason)
+        self.counters.incr("faults.degraded")
+        with self.tracer.span(f"degraded:{reason}", category="fault") as sp:
+            sp.note(kind=exc.kind, attempts=exc.attempts,
+                    events=",".join(exc.events))
+
+    @staticmethod
+    def _empty_wpa_result() -> WPAResult:
+        """The no-directives WPA result degraded runs fall back to."""
+        return WPAResult(clusters={}, symbol_order=[], hot_functions=[],
+                         dcfg={}, call_edges={}, stats=WPAStats())
+
     def run(self) -> PipelineResult:
-        """Execute Phases 1-4 and return all artifacts."""
+        """Execute Phases 1-4 and return all artifacts.
+
+        Degradation contract (active only under a ``fault_plan``): an
+        exhausted retry budget in profile collection, WPA or the Phase-4
+        relink falls back -- empty instrumented profile, baseline
+        layout, baseline binary respectively -- and marks the result
+        ``degraded`` with an explicit reason.  The product builds
+        (baseline, metadata) have nothing to fall back to, so their
+        exhaustion propagates as :class:`~repro.faults.RetriesExhausted`.
+        """
         config = self.config
         times: Dict[str, float] = {}
+        degraded_reasons: List[str] = []
 
         # Baseline (PGO + ThinLTO equivalent): train, then build.  The
         # baseline consumes the profile as trained -- stale and all --
         # because it models the status-quo PGO deployment.
         with self.tracer.span("phase:baseline", category="phase"):
-            ir_profile = self.collect_pgo_profile()
+            try:
+                ir_profile = self.collect_pgo_profile()
+            except RetriesExhausted as exc:
+                # Instrumented training kept crashing: proceed un-PGO'd.
+                self._degrade("pgo-profile", exc, degraded_reasons)
+                ir_profile = IRProfile()
+                self._pgo_seconds = 0.0
             times["pgo_profile_run"] = self._pgo_seconds
             if config.inline_hot:
                 self.apply_inlining(ir_profile)
@@ -768,17 +823,40 @@ class PropellerPipeline:
             metadata = self.build_metadata(ir_profile)
         times["metadata_build"] = metadata.wall_seconds
 
-        # Phase 3: profile the metadata binary and run WPA.
-        with self.tracer.span("phase:profile", category="phase"):
-            perf, lbr_seconds, perf_key = self._collect_lbr(metadata.executable)
+        # Phase 3: profile the metadata binary and run WPA.  Failed
+        # hardware-profile collection (or analysis) must never sink the
+        # release: fall back to no layout directives -- Phase 4 then
+        # degenerates to the stale-matching recovery's warm clusters
+        # when available, or to the baseline layout.
+        perf = PerfData(samples=[], period=config.lbr_period,
+                        binary_name="metadata.out")
+        wpa_result = self._empty_wpa_result()
+        lbr_seconds = wpa_seconds = 0.0
+        try:
+            with self.tracer.span("phase:profile", category="phase"):
+                perf, lbr_seconds, perf_key = self._collect_lbr(metadata.executable)
+        except RetriesExhausted as exc:
+            self._degrade("lbr-profile", exc, degraded_reasons)
+        else:
+            try:
+                with self.tracer.span("phase:wpa", category="phase"):
+                    wpa_result, wpa_seconds = self._analyze(
+                        metadata.executable, perf, perf_key)
+            except RetriesExhausted as exc:
+                self._degrade("wpa", exc, degraded_reasons)
+                wpa_result = self._empty_wpa_result()
         times["lbr_profile_run"] = lbr_seconds
-        with self.tracer.span("phase:wpa", category="phase"):
-            wpa_result, wpa_seconds = self._analyze(metadata.executable, perf, perf_key)
         times["wpa_convert"] = wpa_seconds
 
-        # Phase 4: re-codegen hot modules with clusters, reuse cold objects.
-        with self.tracer.span("phase:relink", category="phase"):
-            optimized = self.relink(ir_profile, wpa_result, hot_profile=recovered)
+        # Phase 4: re-codegen hot modules with clusters, reuse cold
+        # objects.  If the relink itself exhausts, ship the baseline.
+        try:
+            with self.tracer.span("phase:relink", category="phase"):
+                optimized = self.relink(ir_profile, wpa_result,
+                                        hot_profile=recovered)
+        except RetriesExhausted as exc:
+            self._degrade("relink", exc, degraded_reasons)
+            optimized = baseline
         times["prop_backends"] = optimized.backends.wall_seconds
         times["prop_link"] = optimized.link_seconds
 
@@ -795,6 +873,8 @@ class PropellerPipeline:
             match_stats=match_stats,
             recovered_profile=recovered,
             counters=self.counters,
+            degraded=bool(degraded_reasons),
+            degraded_reasons=tuple(degraded_reasons),
         )
 
     def warm_clusters(
@@ -904,7 +984,9 @@ class PropellerPipeline:
             codegen_options=self.metadata_options(ir_profile),
             link_options=self.link_options(
                 "propeller.out",
-                symbol_order=wpa_result.symbol_order,
+                # An empty order (degraded/no-directives runs) means "no
+                # ordering requested", not "order zero symbols".
+                symbol_order=wpa_result.symbol_order or None,
                 keep_bb_addr_map=False,
             ),
             per_module_options=per_module_options,

@@ -669,12 +669,89 @@ def _jobs_scenario() -> Scenario:
     )
 
 
+def _faults_scenario() -> Scenario:
+    """Quality scenario: resilience under a deterministic fault plan.
+
+    Runs the same pipeline clean and under a seeded 2%-failure /
+    1%-timeout plan (see :mod:`repro.faults`).  Gated: the optimized
+    binary is *bit-identical* either way (faults change when, never
+    what), the simulated makespan inflation is deterministic and
+    bounded, the retry/fault counters actually fired, and no retry
+    budget was exhausted.  A final probe exhausts LBR collection
+    (``fail=1`` targeted at ``profile-lbr``) and gates that the run
+    degrades honestly (``degraded=1``) instead of crashing.
+    """
+
+    #: Makespan inflation above this factor means backoff/waste
+    #: accounting has run away, not that the machine was slow --
+    #: everything here is simulated time, so the bound can be tight.
+    MAX_INFLATION = 3.0
+
+    def run(ctx: BenchContext) -> List[Metric]:
+        from repro.core.pipeline import PropellerPipeline
+
+        preset_name, scale = ctx.suite.presets[0]
+        program = _generate(ctx, preset_name, scale)
+        plan = f"fail=0.02,timeout=0.01,seed={ctx.seed}"
+
+        def sim_wall(result) -> float:
+            return sum(b.wall_seconds for b in result.report().builds)
+
+        clean = PropellerPipeline(program, _pipeline_config(ctx)).run()
+        faulty = PropellerPipeline(
+            program, _pipeline_config(ctx, fault_plan=plan)).run()
+        counters = faulty.counters.snapshot()["counters"]
+        inflation = sim_wall(faulty) / sim_wall(clean)
+
+        metrics = [
+            Metric("digest_match",
+                   int(faulty.digest() == clean.digest()),
+                   gate="exact", direction="higher"),
+            Metric("makespan_inflation", inflation, "x",
+                   gate="exact", direction="lower"),
+            Metric("makespan_bounded", int(inflation <= MAX_INFLATION),
+                   gate="exact", direction="higher"),
+            Metric("counter.faults.injected",
+                   counters.get("faults.injected", 0),
+                   gate="exact", direction="none"),
+            Metric("counter.retry.attempts",
+                   counters.get("retry.attempts", 0),
+                   gate="exact", direction="none"),
+            Metric("counter.retry.exhausted",
+                   counters.get("retry.exhausted", 0),
+                   gate="exact", direction="lower"),
+            Metric("faulty.degraded", int(faulty.degraded),
+                   gate="exact", direction="lower"),
+        ]
+
+        # The honesty probe: starve hardware-profile collection outright
+        # and require a *successful, flagged* fallback run.
+        probe = PropellerPipeline(program, _pipeline_config(
+            ctx, fault_plan=f"fail=1,only=profile-lbr,seed={ctx.seed}")).run()
+        metrics.append(Metric("exhausted.degraded", int(probe.degraded),
+                              gate="exact", direction="higher"))
+        metrics.append(Metric(
+            "exhausted.baseline_digest_match",
+            int(probe.baseline.executable.content_digest()
+                == clean.baseline.executable.content_digest()),
+            gate="exact", direction="higher"))
+        return metrics
+
+    return Scenario(
+        name="faults:resilience",
+        title="determinism and bounded cost under a seeded fault plan",
+        paper_ref="§2.1/§5 warehouse build-service resilience",
+        run=run,
+    )
+
+
 def suite_scenarios(suite: SuiteSpec) -> List[Scenario]:
     """The declarative scenario list for one suite tier."""
     scenarios = [_pipeline_scenario(name, scale) for name, scale in suite.presets]
     scenarios.append(_drift_sweep_scenario(*suite.drift_preset, suite.drift_levels))
     scenarios.append(_cold_warm_scenario())
     scenarios.append(_jobs_scenario())
+    scenarios.append(_faults_scenario())
     return scenarios
 
 

@@ -78,6 +78,13 @@ class PipelineReport:
     #: ``stale_matching``; empty otherwise.  See
     #: :class:`repro.profiles.MatchStats`.
     profile_recovery: Mapping[str, Any] = field(default_factory=dict)
+    #: True when the run fell back somewhere instead of failing -- a
+    #: fault plan exhausted a retry budget for profile collection, WPA
+    #: or the relink (see :mod:`repro.faults`).  A degraded report is a
+    #: *successful* run with reduced optimization, and says so.
+    degraded: bool = False
+    #: One entry per degraded stage, e.g. ``("lbr-profile", "wpa")``.
+    degraded_reasons: Tuple[str, ...] = ()
     schema_version: int = METRICS_SCHEMA_VERSION
 
     def build(self, name: str) -> BuildStat:
@@ -126,6 +133,8 @@ class PipelineReport:
             "gauges": dict(self.gauges),
             "frontend": {k: dict(v) for k, v in self.frontend.items()},
             "profile_recovery": dict(self.profile_recovery),
+            "degraded": self.degraded,
+            "degraded_reasons": list(self.degraded_reasons),
         }
 
     @classmethod
@@ -150,4 +159,8 @@ class PipelineReport:
             # Additive in schema version 1: absent before stale-profile
             # matching existed.
             profile_recovery=dict(data.get("profile_recovery", {})),
+            # Additive in schema version 1: absent before fault
+            # injection existed.
+            degraded=bool(data.get("degraded", False)),
+            degraded_reasons=tuple(data.get("degraded_reasons", ())),
         )

@@ -12,10 +12,24 @@ Keys are produced by :func:`repro.buildsys.action_key` and therefore
 already cover *all* inputs of an action -- module digest, option
 signature, profile digest -- so a stored artifact can be replayed by
 any later run with identical inputs, and only such a run.
+
+**Poisoning defense.**  The *key* names an action's inputs; nothing
+about it proves the stored *payload* is the output that action really
+produced.  A half-written file on a non-atomic filesystem, bit rot, or
+a corrupted transfer into a shared cache directory would otherwise be
+replayed as truth into every later build.  Entries are therefore
+stored in a self-verifying envelope -- a header carrying the SHA-256
+of the pickled payload -- and every load re-verifies it.  An entry
+that fails verification (or predates the envelope format) is
+*quarantined*: moved aside under ``quarantine/`` for inspection,
+counted (``store.quarantined``), and reported as a miss so the action
+simply recomputes and overwrites it.  A poisoned cache can cost time;
+it can never change what gets built.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -29,6 +43,15 @@ from typing import Any, Optional
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: On-disk envelope magic.  Bumping it invalidates (quarantines) every
+#: existing entry -- which is the correct behaviour for format drift.
+_MAGIC = b"repro-store-v2\n"
+_DIGEST_HEX_LEN = 64
+
+#: Subdirectory (outside the ``??/`` shard namespace) where entries
+#: that failed verification are moved for post-mortem inspection.
+QUARANTINE_DIR = "quarantine"
 
 
 def resolve_cache_dir(explicit: "Optional[str | os.PathLike]" = None) -> Optional[Path]:
@@ -47,6 +70,8 @@ class PersistentActionStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.loads = 0
         self.stores = 0
+        #: Entries that failed digest verification and were moved aside.
+        self.quarantined = 0
         # Optional metrics sink (the repro.obs.Counters contract); held
         # duck-typed so this module stays importable without any other
         # part of the package.
@@ -60,22 +85,68 @@ class PersistentActionStore:
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
-    def load(self, key: str) -> Optional[Any]:
-        """The stored entry, or None when absent or unreadable.
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside (never replayed again) and count it."""
+        target_dir = self.root / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{path.name}.{reason}")
+        except OSError:
+            # Last resort: an unremovable poisoned entry must still
+            # never be replayed, so drop it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+        if self.counters is not None:
+            self.counters.incr("store.quarantined")
 
-        A corrupt or half-written entry (interrupted writer on a
-        non-atomic filesystem, format drift between versions) is
-        indistinguishable from a miss: the action simply re-executes
-        and overwrites it.
+    def _verified_payload(self, path: Path, data: bytes) -> Optional[bytes]:
+        """The pickled payload iff the envelope's digest verifies.
+
+        Anything else -- truncation, a foreign/legacy format, a payload
+        whose digest does not match its header -- is poisoning as far
+        as correctness is concerned, and is quarantined.
+        """
+        if not data.startswith(_MAGIC):
+            self._quarantine(path, "format")
+            return None
+        header_end = len(_MAGIC) + _DIGEST_HEX_LEN
+        if len(data) < header_end + 1 or data[header_end:header_end + 1] != b"\n":
+            self._quarantine(path, "truncated")
+            return None
+        expected = data[len(_MAGIC):header_end]
+        payload = data[header_end + 1:]
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != expected:
+            self._quarantine(path, "digest")
+            return None
+        return payload
+
+    def load(self, key: str) -> Optional[Any]:
+        """The stored entry, or None when absent or not verifiable.
+
+        A corrupt, truncated or half-written entry is indistinguishable
+        from a miss to the caller: the action simply re-executes and
+        overwrites it.  Unlike a plain miss, though, the bad file is
+        quarantined and counted, because a poisoned shared cache is an
+        operational event someone should be able to see.
         """
         path = self._path(key)
         try:
             data = path.read_bytes()
         except OSError:
             return None
+        payload = self._verified_payload(path, data)
+        if payload is None:
+            return None
         try:
-            entry = pickle.loads(data)
+            entry = pickle.loads(payload)
         except Exception:
+            # The digest verified but the pickle does not parse: format
+            # drift between versions.  Quarantine it like any other
+            # unreplayable entry.
+            self._quarantine(path, "unpicklable")
             if self.counters is not None:
                 self.counters.incr("store.load_errors")
             return None
@@ -87,10 +158,15 @@ class PersistentActionStore:
     def store(self, key: str, entry: Any) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(entry, protocol=_PICKLE_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(entry, handle, protocol=_PICKLE_PROTOCOL)
+                handle.write(_MAGIC)
+                handle.write(digest)
+                handle.write(b"\n")
+                handle.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:

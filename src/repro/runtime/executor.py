@@ -45,12 +45,23 @@ class ParallelExecutor:
         forks: every task runs inline in the calling process, which is
         both the fallback on single-core machines and the reference
         behaviour parallel runs must reproduce bit-for-bit.
+    :param max_retries: bounded retry budget per task for *real*
+        execution failures -- a worker process OOM-killed mid-batch, a
+        transient exception from a flaky task.  Because every task is
+        required to be pure, re-running one is always safe; because the
+        budget is bounded, a deterministic bug still surfaces (the last
+        failure propagates) instead of looping.  Retries happen inline
+        in the submitting process, the deterministic reference path, so
+        a retried batch returns exactly what a clean run would.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, max_retries: int = 2):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.jobs = jobs
+        self.max_retries = max_retries
         self._pool: Optional[ProcessPoolExecutor] = None
         # Optional metrics sink (the repro.obs.Counters contract), held
         # duck-typed so this module keeps its no-repro-imports promise.
@@ -67,12 +78,30 @@ class ParallelExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
+    def _invoke(self, fn: Callable[..., R], args: tuple) -> R:
+        """One task inline, with the bounded retry budget applied."""
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn(*args)
+            except Exception:
+                if attempt == self.max_retries:
+                    raise
+                if self.counters is not None:
+                    self.counters.incr("pool.retries")
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def map(self, fn: Callable[..., R], arg_tuples: Sequence[tuple]) -> List[R]:
         """Apply ``fn(*args)`` to every tuple, results in input order.
 
         ``fn`` must be a module-level (picklable) callable; each
         argument tuple must pickle.  Falls back to inline execution for
         serial executors and batches too small to amortize dispatch.
+
+        Degradation path: if the pooled batch raises -- a task
+        exception or a broken pool -- the whole batch is recomputed
+        inline through the retry budget.  Tasks are pure, so the
+        recompute returns the same values a clean pooled run would;
+        a failure that survives the budget propagates.
         """
         items = list(arg_tuples)
         if self.counters is not None:
@@ -80,10 +109,22 @@ class ParallelExecutor:
             self.counters.incr("pool.tasks", len(items))
             self.counters.gauge("pool.jobs", self.jobs)
         if not self.parallel or len(items) < MIN_PARALLEL_TASKS:
-            return [fn(*args) for args in items]
+            return [self._invoke(fn, args) for args in items]
         pool = self._ensure_pool()
         chunksize = max(1, len(items) // (self.jobs * 4))
-        return list(pool.map(_apply, ((fn, args) for args in items), chunksize=chunksize))
+        try:
+            return list(pool.map(_apply, ((fn, args) for args in items),
+                                 chunksize=chunksize))
+        except Exception:
+            if self.max_retries < 1:
+                raise
+            # The pool may be unusable (BrokenProcessPool) -- drop it so
+            # a later map starts fresh -- and fall back to the serial
+            # reference path for this batch.
+            if self.counters is not None:
+                self.counters.incr("pool.batch_fallbacks")
+            self.close()
+            return [self._invoke(fn, args) for args in items]
 
     def close(self) -> None:
         if self._pool is not None:

@@ -53,6 +53,7 @@ PIPELINE_FLAG_FIELDS = {
     "cache_dir": "cache_dir",
     "enforce_ram": "enforce_ram",
     "stale_matching": "stale_matching",
+    "fault_plan": "fault_plan",
 }
 
 
@@ -81,6 +82,11 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
                         help="recover stale instrumented-profile counts by "
                              "fuzzy block matching + count inference before "
                              "the metadata/Propeller builds")
+    parser.add_argument("--fault-plan", default=_DEFAULTS.fault_plan,
+                        help="deterministic fault-injection plan: a spec "
+                             "string like 'fail=0.02,timeout=0.01,seed=7' or "
+                             "the path of a plan JSON file (see repro.faults); "
+                             "changes simulated durations, never artifacts")
 
 
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:

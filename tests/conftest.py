@@ -2,16 +2,57 @@
 
 Session-scoped so the expensive compile/link/profile work happens once
 per test run.
+
+Environment shielding: a developer's exported ``$REPRO_CACHE_DIR``
+would give every pipeline under test a shared persistent cache --
+warm replays across tests would flip the exact-asserted ``cache.*``
+counters and ``store.*`` accounting, and a *stale* user cache could
+even replay artifacts from an older code version.  The autouse fixture
+below removes the variable for the whole session (it is restored on
+exit).  Deliberately **removed, not redirected** to a session tmpdir: a
+shared tmpdir would still warm later tests from earlier ones, which is
+exactly the cross-test coupling being shielded against.  Tests that
+want persistence opt in explicitly with ``monkeypatch.setenv`` or
+``PipelineConfig(cache_dir=...)``, both of which layer cleanly on top.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.codegen import CodeGenOptions, compile_program
 from repro.core.pipeline import PipelineConfig, PropellerPipeline
 from repro.linker import LinkOptions, link
+from repro.runtime.cache import CACHE_DIR_ENV
 from repro.synth import PRESETS, generate_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shield_cache_env():
+    """Session-wide removal of ``$REPRO_CACHE_DIR`` (see module docstring)."""
+    saved = os.environ.pop(CACHE_DIR_ENV, None)
+    try:
+        yield
+    finally:
+        if saved is not None:
+            os.environ[CACHE_DIR_ENV] = saved
+
+
+@pytest.fixture(autouse=True)
+def _assert_cache_env_shielded(request, _shield_cache_env):
+    """Every test starts unshadowed by a stray user cache.
+
+    ``monkeypatch.setenv`` inside a test still works (monkeypatch
+    unwinds before this check re-runs for the next test); what this
+    catches is a test *leaking* the variable to its successors.
+    """
+    assert CACHE_DIR_ENV not in os.environ, (
+        f"{CACHE_DIR_ENV} leaked into {request.node.nodeid}; a prior test "
+        "set it without monkeypatch and broke cache-counter isolation"
+    )
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,7 @@ and commit the updated files under ``tests/golden/``.
 
 from __future__ import annotations
 
+import json
 import os
 import textwrap
 from pathlib import Path
@@ -80,3 +81,36 @@ class TestGolden:
         raw = golden_pipeline.metadata.executable.section_bytes(SectionKind.BB_ADDR_MAP)
         assert raw, "metadata binary lost its BB address map section"
         _check("bbaddrmap.hex", "\n".join(textwrap.wrap(raw.hex(), 64)) + "\n")
+
+
+@pytest.fixture(scope="module")
+def degraded_pipeline():
+    """The golden workload with hardware-profile collection starved.
+
+    ``jobs=1`` keeps the machine-dependent ``pool.*`` gauge out of the
+    counters so the serialized report is identical on every machine.
+    """
+    program = generate_workload(PRESETS[PRESET], scale=SCALE, seed=SEED)
+    config = PipelineConfig(
+        seed=SEED, lbr_branches=60_000, lbr_period=31, pgo_steps=30_000,
+        workers=72, enforce_ram=False, jobs=1,
+        fault_plan="fail=1,only=profile-lbr,seed=7",
+    )
+    return PropellerPipeline(program, config).run()
+
+
+class TestDegradedReportGolden:
+    """Pins the exact JSON a degraded run reports (schema v1, additive).
+
+    This is the contract downstream dashboards parse: the ``degraded``
+    flag, its reasons, the ``faults.*``/``retry.*`` counters and the
+    fallback build accounting.  Any drift -- a renamed counter, a
+    reason string change, a field that stopped serializing -- shows up
+    here as a reviewable diff, exactly like the layout goldens above.
+    """
+
+    def test_degraded_report_json(self, degraded_pipeline):
+        report = degraded_pipeline.report()
+        assert report.degraded, "fixture no longer degrades; golden is stale"
+        _check("degraded_report.json",
+               json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n")

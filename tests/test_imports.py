@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.codegen",
     "repro.core",
     "repro.elf",
+    "repro.faults",
     "repro.hwmodel",
     "repro.ir",
     "repro.isa",
@@ -53,6 +54,15 @@ class TestImportIsolation:
             "import repro.obs, sys\n"
             "for bad in ('repro.core', 'repro.linker', 'repro.profiles',\n"
             "            'repro.buildsys', 'repro.runtime', 'repro.analysis'):\n"
+            "    assert bad not in sys.modules, bad\n"
+        )
+
+    def test_faults_imports_standalone(self):
+        """Fault plans are stdlib-only: usable without the toolchain."""
+        _run(
+            "import repro.faults, sys\n"
+            "for bad in ('repro.core', 'repro.linker', 'repro.profiles',\n"
+            "            'repro.buildsys', 'repro.runtime', 'repro.obs'):\n"
             "    assert bad not in sys.modules, bad\n"
         )
 

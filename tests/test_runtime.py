@@ -194,3 +194,166 @@ class TestPipelineDeterminism:
 def test_cache_entry_pickles():
     entry = _CacheEntry(value=(1, "x"), cost_seconds=0.5, peak_memory=7)
     assert pickle.loads(pickle.dumps(entry)) == entry
+
+
+# ----------------------------------------------------------------------
+# Poisoning defense: every malformed on-disk entry is a quarantined
+# miss, never a crash and never a replayed artifact.
+
+class TestStoreQuarantine:
+    KEY = "ab" * 32
+
+    def _store_with(self, tmp_path, value):
+        store = PersistentActionStore(tmp_path)
+        store.store(self.KEY, value)
+        return store, store._path(self.KEY)
+
+    def test_truncated_entry_is_quarantined_miss(self, tmp_path):
+        store, path = self._store_with(tmp_path, list(range(100)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        assert store.load(self.KEY) is None
+        assert store.quarantined == 1
+        assert self.KEY not in store  # moved aside, not replayable
+
+    def test_header_only_entry_is_quarantined_miss(self, tmp_path):
+        store, path = self._store_with(tmp_path, "x")
+        from repro.runtime.cache import _MAGIC
+
+        path.write_bytes(_MAGIC)  # magic with no digest/payload
+        assert store.load(self.KEY) is None
+        assert store.quarantined == 1
+
+    def test_flipped_payload_bit_is_quarantined_miss(self, tmp_path):
+        store, path = self._store_with(tmp_path, b"artifact bytes")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert store.load(self.KEY) is None
+        assert store.quarantined == 1
+
+    def test_legacy_format_is_quarantined_miss(self, tmp_path):
+        store, path = self._store_with(tmp_path, 1)
+        # A pre-envelope (v1-era) entry: a bare pickle.
+        path.write_bytes(pickle.dumps({"old": "format"}))
+        assert store.load(self.KEY) is None
+        assert store.quarantined == 1
+
+    def test_verified_but_unpicklable_is_quarantined_miss(self, tmp_path):
+        import hashlib
+
+        from repro.runtime.cache import _MAGIC
+
+        store = PersistentActionStore(tmp_path)
+        path = store._path(self.KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = b"this is not a pickle"
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        path.write_bytes(_MAGIC + digest + b"\n" + payload)
+        assert store.load(self.KEY) is None
+        assert store.quarantined == 1
+
+    def test_quarantined_file_is_kept_for_inspection(self, tmp_path):
+        store, path = self._store_with(tmp_path, 42)
+        path.write_bytes(b"garbage")
+        store.load(self.KEY)
+        moved = list((store.root / "quarantine").iterdir())
+        assert len(moved) == 1
+        assert moved[0].name.startswith(path.name)
+
+    def test_quarantine_excluded_from_len_and_clear(self, tmp_path):
+        store, path = self._store_with(tmp_path, 42)
+        path.write_bytes(b"garbage")
+        store.load(self.KEY)
+        assert len(store) == 0
+        store.clear()  # must not touch the quarantine directory
+        assert list((store.root / "quarantine").iterdir())
+
+    def test_recompute_overwrites_after_quarantine(self, tmp_path):
+        store, path = self._store_with(tmp_path, "old")
+        path.write_bytes(b"garbage")
+        assert store.load(self.KEY) is None
+        store.store(self.KEY, "recomputed")
+        assert store.load(self.KEY) == "recomputed"
+
+    def test_quarantine_counter_emitted(self, tmp_path):
+        from repro.obs import Counters
+
+        counters = Counters()
+        store = PersistentActionStore(tmp_path, counters=counters)
+        store.store(self.KEY, 1)
+        store._path(self.KEY).write_bytes(b"garbage")
+        store.load(self.KEY)
+        assert counters.count("store.quarantined") == 1
+
+
+# ----------------------------------------------------------------------
+# Executor bounded retry (real-failure resilience, distinct from the
+# simulated fault plans in repro.faults).
+
+def _fail_outside_pid(parent_pid, value):
+    """Raises in any process other than ``parent_pid`` (i.e. in workers)."""
+    if os.getpid() != parent_pid:
+        raise RuntimeError("simulated worker crash")
+    return value * 10
+
+
+class TestExecutorRetry:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(1, max_retries=-1)
+
+    def test_inline_retry_recovers_transient_failure(self):
+        from repro.obs import Counters
+
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return x + 1
+
+        ex = ParallelExecutor(1, max_retries=2)
+        ex.counters = Counters()
+        assert ex.map(flaky, [(41,)]) == [42]
+        assert calls["n"] == 3
+        assert ex.counters.count("pool.retries") == 2
+
+    def test_budget_exhaustion_propagates_last_error(self):
+        def always_fails(x):
+            raise KeyError("deterministic bug")
+
+        ex = ParallelExecutor(1, max_retries=1)
+        with pytest.raises(KeyError):
+            ex.map(always_fails, [(1,)])
+
+    def test_zero_budget_fails_immediately(self):
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            raise RuntimeError("boom")
+
+        ex = ParallelExecutor(1, max_retries=0)
+        with pytest.raises(RuntimeError):
+            ex.map(flaky, [(1,)])
+        assert calls["n"] == 1
+
+    def test_broken_pool_batch_falls_back_inline(self):
+        from repro.obs import Counters
+
+        ex = ParallelExecutor(2, max_retries=2)
+        ex.counters = Counters()
+        items = [(os.getpid(), i) for i in range(6)]
+        # Every task crashes in a worker process but succeeds inline.
+        assert ex.map(_fail_outside_pid, items) == [i * 10 for i in range(6)]
+        assert ex.counters.count("pool.batch_fallbacks") == 1
+        ex.close()
+
+    def test_pool_failure_without_budget_propagates(self):
+        ex = ParallelExecutor(2, max_retries=0)
+        items = [(os.getpid(), i) for i in range(6)]
+        with pytest.raises(RuntimeError):
+            ex.map(_fail_outside_pid, items)
+        ex.close()
