@@ -45,6 +45,9 @@ _FACADE = {
     "match_profile": ("repro.profiles", "match_profile"),
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "FaultClock": ("repro.faults", "FaultClock"),
+    "reoptimize": ("repro.incr", "reoptimize"),
+    "IncrState": ("repro.incr", "IncrState"),
+    "EditScript": ("repro.synth", "EditScript"),
 }
 
 __all__ = ["__version__", *sorted(_FACADE)]

@@ -25,6 +25,7 @@ hot chains pack together even when no jump rewards connect them.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
@@ -286,12 +287,42 @@ def _order_task(
     return ext_tsp_order(nodes, edges, entry=entry, params=params)
 
 
+def solve_signature(
+    nodes: Dict[NodeId, Tuple[int, float]],
+    edges: Iterable[Tuple[NodeId, NodeId, float]],
+    entry: Optional[NodeId],
+    params: LayoutParams = DEFAULT_PARAMS,
+) -> str:
+    """Content digest of one layout problem: the solve-memoization key.
+
+    Covers *every* input of the solver, bit-exactly: the scoring
+    params, the entry pin, node sizes and weights, and the edge list.
+    Nodes are hashed in **iteration order** (not sorted) because chain
+    ids -- and with them every heap tiebreak -- are assigned by
+    enumeration order in :class:`ExtTSP`; two problems with equal
+    content but different insertion order are legitimately different
+    solves.  Equal signatures therefore guarantee the memoized order
+    equals a fresh solve, which is what lets
+    :class:`repro.runtime.FunctionSolveCache` replay solutions across
+    releases without risking the bit-identity of the relink.
+    """
+    h = hashlib.sha256()
+    h.update(repr(params).encode("utf-8"))
+    h.update(f"|e:{entry!r}".encode("utf-8"))
+    for node, (size, weight) in nodes.items():
+        h.update(f"|n:{node!r}:{int(size)}:{float(weight).hex()}".encode("utf-8"))
+    for src, dst, weight in edges:
+        h.update(f"|g:{src!r}:{dst!r}:{float(weight).hex()}".encode("utf-8"))
+    return h.hexdigest()
+
+
 def ext_tsp_order_many(
     problems: Sequence[
         Tuple[Dict[NodeId, Tuple[int, float]], Iterable[Tuple[NodeId, NodeId, float]], Optional[NodeId]]
     ],
     params: LayoutParams = DEFAULT_PARAMS,
     executor: Optional[object] = None,
+    cache: Optional[object] = None,
 ) -> List[List[NodeId]]:
     """Solve many independent layout problems, orders in input order.
 
@@ -301,11 +332,40 @@ def ext_tsp_order_many(
     :meth:`repro.runtime.ParallelExecutor.map` contract) is given, the
     solves fan out across worker processes; the solver itself is fully
     deterministic, so the executor cannot change any order returned.
+
+    ``cache`` (the :class:`repro.runtime.FunctionSolveCache` contract:
+    ``get(key) -> order | None`` / ``put(key, order)``) memoizes solves
+    by :func:`solve_signature`: problems whose signature is cached are
+    replayed without solving, only the misses run (still fanned over
+    ``executor``), and fresh solutions are stored.  Lookups happen in
+    the submitting process, in input order, so hit/miss accounting is
+    deterministic and jobs-invariant.
     """
     tasks = [(nodes, list(edges), entry, params) for nodes, edges, entry in problems]
-    if executor is None:
-        return [_order_task(*task) for task in tasks]
-    return executor.map(_order_task, tasks)
+    if cache is None:
+        if executor is None:
+            return [_order_task(*task) for task in tasks]
+        return executor.map(_order_task, tasks)
+
+    results: List[Optional[List[NodeId]]] = []
+    miss_tasks = []
+    miss_slots: List[Tuple[int, str]] = []
+    for i, task in enumerate(tasks):
+        key = solve_signature(task[0], task[1], task[2], task[3])
+        order = cache.get(key)
+        results.append(order)
+        if order is None:
+            miss_tasks.append(task)
+            miss_slots.append((i, key))
+    if miss_tasks:
+        if executor is None:
+            solved = [_order_task(*task) for task in miss_tasks]
+        else:
+            solved = executor.map(_order_task, miss_tasks)
+        for (i, key), order in zip(miss_slots, solved):
+            cache.put(key, order)
+            results[i] = order
+    return results  # type: ignore[return-value]
 
 
 def dict_edges_ok(edges: Iterable[Tuple[NodeId, NodeId, float]]):

@@ -19,10 +19,10 @@ phase, which is what the paper's Figures 4, 5, 9 and Table 5 report.
 from __future__ import annotations
 
 import hashlib
-import warnings
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import ir
 from repro.analysis import MemoryMeter
@@ -52,7 +52,12 @@ from repro.profiles import (
     match_profile,
     sample_lbr,
 )
-from repro.runtime import ParallelExecutor, default_jobs, resolve_cache_dir
+from repro.runtime import (
+    FunctionSolveCache,
+    ParallelExecutor,
+    default_jobs,
+    resolve_cache_dir,
+)
 from repro.runtime.executor import shared_executor
 
 
@@ -97,6 +102,19 @@ class PipelineConfig:
     #: to the ``REPRO_CACHE_DIR`` environment variable; when neither is
     #: set, caching is in-memory only and runs start cold, as before.
     cache_dir: Optional[str] = None
+    #: Enable the incremental re-optimization engine (:mod:`repro.incr`):
+    #: per-function Ext-TSP solves are memoized in a
+    #: :class:`~repro.runtime.FunctionSolveCache` and
+    #: :meth:`PropellerPipeline.reoptimize` replays clean functions'
+    #: solutions.  Never changes any artifact --
+    #: ``PipelineResult.digest()`` is bit-identical with the engine on
+    #: or off.
+    incremental: bool = False
+    #: Directory holding incremental state across releases: the
+    #: ``IncrState`` snapshot, the solve cache (``solves/``) and -- when
+    #: ``cache_dir`` is not set otherwise -- the persistent action store
+    #: (``actions/``).  Setting it implies solve memoization.
+    state_dir: Optional[str] = None
     #: Deterministic fault-injection plan (see :mod:`repro.faults`):
     #: a compact spec string (``"fail=0.02,timeout=0.01,seed=7"``), the
     #: path of a plan JSON file, or ``None`` for no injection.  A plan
@@ -207,6 +225,12 @@ class PipelineResult:
     degraded: bool = False
     #: One entry per degraded stage, e.g. ``("lbr-profile",)``.
     degraded_reasons: Tuple[str, ...] = ()
+    #: Incremental re-optimization accounting, filled only by
+    #: :meth:`PropellerPipeline.reoptimize`: the dirty/added/deleted
+    #: function sets, their reasons, hot-set flips and the solve-cache
+    #: hit/miss tallies.  Accounting, never content -- excluded from
+    #: :meth:`digest` like every other non-artifact field.
+    incremental: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def pct_hot_objects(self) -> float:
@@ -323,6 +347,7 @@ class PipelineResult:
             profile_recovery=self.match_stats.as_dict() if self.match_stats else {},
             degraded=self.degraded,
             degraded_reasons=self.degraded_reasons,
+            incremental=dict(self.incremental),
         )
 
     def summary(self) -> str:
@@ -355,6 +380,14 @@ class PipelineResult:
                 f"(exact {rec['matched_exact']}, loose {rec['matched_loose']}, "
                 f"inferred {rec['blocks_inferred']}+{rec['edges_inferred']})"
             )
+        if r.incremental:
+            inc = r.incremental
+            lines.append(
+                f"incremental: {len(inc['dirty'])} dirty, "
+                f"{len(inc['added'])} added, {len(inc['deleted'])} deleted; "
+                f"solve reuse {inc['solve_reuse']:.2f} "
+                f"({inc['solve_hits']} replayed, {inc['solve_misses']} solved)"
+            )
         if r.degraded:
             lines.append(f"DEGRADED: {', '.join(r.degraded_reasons)}")
         return "\n".join(lines)
@@ -383,14 +416,28 @@ class PropellerPipeline:
         if tracer is None:
             tracer = Tracer() if config.trace else NULL_TRACER
         self.tracer = tracer
+        cache_dir = resolve_cache_dir(config.cache_dir)
+        if cache_dir is None and config.state_dir:
+            # A state directory is a promise of cross-release reuse, so
+            # the action store lives beside the incremental state unless
+            # the user pointed it elsewhere.
+            cache_dir = Path(config.state_dir) / "actions"
         self.buildsys = buildsys or BuildSystem(
             workers=config.workers,
             ram_limit=config.ram_limit,
             enforce_ram=config.enforce_ram,
-            cache_dir=resolve_cache_dir(config.cache_dir),
+            cache_dir=cache_dir,
             fault_plan=FaultPlan.resolve(config.fault_plan),
         )
         self.counters: Counters = self.buildsys.counters
+        #: Per-function Ext-TSP solve memoization (see :mod:`repro.incr`).
+        #: Persisted under ``state_dir/solves`` when a state directory is
+        #: configured, in-memory otherwise; ``None`` when the incremental
+        #: engine is off.
+        self.solve_cache: "Optional[FunctionSolveCache]" = None
+        if config.incremental or config.state_dir:
+            solve_root = Path(config.state_dir) / "solves" if config.state_dir else None
+            self.solve_cache = FunctionSolveCache(solve_root, counters=self.counters)
         self.jobs = config.jobs if config.jobs is not None else default_jobs(config.workers)
         self._digests: Dict[str, str] = {}
         # id -> (options, signature); the options reference keeps the
@@ -605,10 +652,12 @@ class PropellerPipeline:
         config = self.config
         executor = self.executor
         tracer = self.tracer
+        solve_cache = self.solve_cache
 
         def _compute():
             wpa_result = wpa_mod.analyze(
-                metadata_exe, perf, config.wpa, executor=executor, tracer=tracer
+                metadata_exe, perf, config.wpa, executor=executor, tracer=tracer,
+                solve_cache=solve_cache,
             )
             cost = wpa_result.stats.cost_units * config.wpa_seconds_per_unit
             return wpa_result, cost, wpa_result.stats.peak_memory_bytes
@@ -698,16 +747,6 @@ class PropellerPipeline:
             hugepages=self.config.hugepages,
         )
         return replace(base, **overrides)
-
-    def _link_options(self, name: str, **overrides) -> LinkOptions:
-        """Deprecated alias of :meth:`link_options` (one release grace)."""
-        warnings.warn(
-            "PropellerPipeline._link_options is deprecated; "
-            "use the public link_options()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.link_options(name, **overrides)
 
     # ------------------------------------------------------------------
     # Public stage helpers (what the CLI subcommands are wired from)
@@ -877,6 +916,80 @@ class PropellerPipeline:
             degraded_reasons=tuple(degraded_reasons),
         )
 
+    def reoptimize(self, state) -> PipelineResult:
+        """Re-run the four phases against a prior release's state.
+
+        ``state`` is the :class:`repro.incr.IncrState` snapshot captured
+        from the previous release's :class:`PipelineResult` (or the
+        path such a snapshot was saved to).  The method first plans the
+        *dirty set* -- functions whose CFG content digest or per-anchor
+        profile slice changed since the snapshot -- purely for
+        observability, then executes :meth:`run` with the pipeline's
+        :class:`~repro.runtime.FunctionSolveCache` active: unchanged
+        functions' Ext-TSP solves replay from the cache, dirty ones
+        solve fresh.  Correctness never rests on the plan: the solve
+        cache is keyed by the exact solver inputs, so the result is
+        **bit-identical** to a full rebuild
+        (``result.digest() == optimize(edited_program).digest()``) by
+        construction, whatever the plan predicted.
+
+        Degradations keep their :meth:`run` semantics: a failed
+        profile collection or analysis under a fault plan degrades the
+        result honestly (``degraded_reasons``) rather than silently
+        replaying stale state.
+
+        The dirty plan, hot-set flips and solve-reuse accounting land
+        on ``result.incremental``, the ``incr.*`` counters and the
+        report's ``incremental`` section.
+        """
+        from repro import incr as incr_mod
+
+        if isinstance(state, (str, Path)):
+            state = incr_mod.IncrState.load(state)
+        state.check(self.program.name, self.config)
+
+        # Plan the dirty set against the *new* profile epoch.  The
+        # pre-collection is itself a cached action, so :meth:`run`'s own
+        # collection replays it for free; if collection is doomed under
+        # a fault plan, plan against an empty profile and let run()
+        # degrade honestly.
+        try:
+            profile = self.collect_pgo_profile()
+        except RetriesExhausted:
+            profile = IRProfile()
+        plan = incr_mod.plan_dirty(state, self.program, profile)
+        self.counters.incr("incr.dirty_functions", len(plan.dirty))
+        self.counters.incr("incr.added_functions", len(plan.added))
+        self.counters.incr("incr.deleted_functions", len(plan.deleted))
+        self.counters.incr(
+            "incr.clean_functions",
+            max(0, self.program.num_functions - len(plan.dirty) - len(plan.added)),
+        )
+
+        result = self.run()
+
+        new_hot = set(result.wpa_result.hot_functions)
+        old_hot = {n for n, fs in state.functions.items() if fs.hot}
+        hot_flips = sorted(new_hot.symmetric_difference(old_hot))
+        self.counters.incr("incr.hot_flips", len(hot_flips))
+        cache = self.solve_cache
+        hits = cache.hits if cache is not None else 0
+        misses = cache.misses if cache is not None else 0
+        reuse = cache.reuse_rate if cache is not None else 1.0
+        self.counters.gauge("incr.solve_reuse", reuse)
+        result.incremental = {
+            "prior_digest": state.result_digest,
+            "dirty": sorted(plan.dirty),
+            "added": sorted(plan.added),
+            "deleted": sorted(plan.deleted),
+            "reasons": {name: reason for name, reason in plan.reasons.items()},
+            "hot_flips": hot_flips,
+            "solve_hits": hits,
+            "solve_misses": misses,
+            "solve_reuse": reuse,
+        }
+        return result
+
     def warm_clusters(
         self,
         profile: IRProfile,
@@ -893,7 +1006,7 @@ class PropellerPipeline:
         whole warm tier out; with a raw stale profile the dropout
         zeros starve it (which is the measured difference).
         """
-        from repro.core.exttsp import ext_tsp_order
+        from repro.core.exttsp import ext_tsp_order, solve_signature
 
         total = sum(sum(c.values()) for c in profile.blocks.values())
         floor = total * min_fraction
@@ -919,7 +1032,14 @@ class PropellerPipeline:
                 edges = [(s, d, w)
                          for (s, d), w in sorted(profile.edge_counts(name).items())
                          if s in hot_set and d in hot_set]
-                order = ext_tsp_order(nodes, edges, entry=entry_id)
+                if self.solve_cache is not None:
+                    key = solve_signature(nodes, edges, entry=entry_id)
+                    order = self.solve_cache.get(key)
+                    if order is None:
+                        order = ext_tsp_order(nodes, edges, entry=entry_id)
+                        self.solve_cache.put(key, order)
+                else:
+                    order = ext_tsp_order(nodes, edges, entry=entry_id)
                 if not order or order[0] != entry_id:
                     continue  # defensive: the section plan needs entry first
                 placed = set(order)

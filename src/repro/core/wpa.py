@@ -358,6 +358,7 @@ def _intra_layout(
     meter: MemoryMeter,
     min_count: float = 0.0,
     executor: Optional[object] = None,
+    solve_cache: Optional[object] = None,
 ) -> Tuple[Dict[str, List[List[int]]], List[str], List[str]]:
     clusters: Dict[str, List[List[int]]] = {}
     hot_funcs: List[str] = []
@@ -389,8 +390,11 @@ def _intra_layout(
         problems.append((nodes, projected, entry_leader))
 
     # Pass 2 (the Ext-TSP solves): embarrassingly parallel, one problem
-    # per hot function, results in submission order.
-    orders = ext_tsp_order_many(problems, params=options.layout_params, executor=executor)
+    # per hot function, results in submission order.  A solve cache
+    # replays functions whose problem content is unchanged since a
+    # prior release (see repro.incr); only dirty functions solve.
+    orders = ext_tsp_order_many(problems, params=options.layout_params,
+                                executor=executor, cache=solve_cache)
 
     # Pass 3: flatten and account, in the same order.  The modelled
     # memory sequence (allocate/solve/free per function) is replayed
@@ -518,6 +522,7 @@ def analyze(
     meter: Optional[MemoryMeter] = None,
     executor: Optional[object] = None,
     tracer: Optional[object] = None,
+    solve_cache: Optional[object] = None,
 ) -> WPAResult:
     """Run profile conversion and whole-program analysis.
 
@@ -526,6 +531,14 @@ def analyze(
     processes; it never changes the result, only how fast the analysis
     runs.  Inter-procedural layout is one whole-program solve and
     always runs in-process.
+
+    ``solve_cache`` (the :class:`repro.runtime.FunctionSolveCache`
+    contract) memoizes per-function Ext-TSP solves by content
+    signature, so an incremental re-optimization replays unchanged
+    functions' layouts instead of re-solving them.  It applies only to
+    intra-procedural layout: the inter-procedural path is one
+    whole-program solve with no per-function unit of reuse, and is
+    deliberately uncached.
 
     ``tracer`` (the :class:`repro.obs.Tracer` contract) records the
     three internal stages -- address-map indexing, DCFG construction,
@@ -563,7 +576,7 @@ def analyze(
         else:
             clusters, symbol_order, hot_funcs = _intra_layout(
                 index, dcfg, call_edges, options, own, min_count=min_count,
-                executor=executor,
+                executor=executor, solve_cache=solve_cache,
             )
         sp.note(hot_functions=len(hot_funcs))
     prefetches: Dict[str, List[Tuple[int, str]]] = {}

@@ -1,0 +1,69 @@
+"""Incremental re-optimization across releases (the daily-build loop).
+
+Propeller's deployment story (§3.6) is a *relinking* optimizer inside a
+release pipeline that ships daily: between two releases most functions
+are byte-identical, most profile slices barely move, and re-running the
+whole optimization pipeline from scratch wastes almost all of its
+compute.  This package closes that loop:
+
+* :class:`IncrState` -- the tiny per-release snapshot (per-function CFG
+  and profile digests, hot-set membership, config signature) one run
+  leaves for the next, persisted under ``--state-dir``.
+* :func:`plan_dirty` -- the advisory semantic diff: which functions a
+  new release actually changed, and why.
+* :func:`reoptimize` -- re-run the pipeline for an edited program,
+  replaying per-function Ext-TSP solves from the
+  :class:`~repro.runtime.FunctionSolveCache` and every unchanged build
+  action from the persistent action store.
+
+The invariant everything here is built around: an incremental result is
+**bit-identical** to a full rebuild of the edited program
+(``PipelineResult.digest()`` equal), because reuse is keyed by exact
+content -- never by the dirty plan, timestamps, or anything advisory.
+"""
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.pipeline import PipelineConfig, PipelineResult, PropellerPipeline
+from repro.incr.planner import DirtyPlan, plan_dirty
+from repro.incr.state import (
+    INCR_STATE_VERSION,
+    FunctionState,
+    IncrState,
+    IncrStateError,
+    config_signature,
+    state_path,
+)
+
+__all__ = [
+    "DirtyPlan",
+    "FunctionState",
+    "INCR_STATE_VERSION",
+    "IncrState",
+    "IncrStateError",
+    "config_signature",
+    "plan_dirty",
+    "reoptimize",
+    "state_path",
+]
+
+
+def reoptimize(
+    program,
+    state,
+    config: PipelineConfig = PipelineConfig(),
+    seed: Optional[int] = None,
+) -> PipelineResult:
+    """One-call incremental Propeller: re-optimize ``program`` against
+    a prior release's ``state`` (an :class:`IncrState` or a path to
+    one).  The incremental engine is forced on; everything else follows
+    :meth:`repro.core.pipeline.PropellerPipeline.reoptimize`.
+    """
+    if isinstance(state, (str,)) or hasattr(state, "__fspath__"):
+        state = IncrState.load(state)
+    overrides = {"incremental": True}
+    if seed is not None:
+        overrides["seed"] = seed
+    config = replace(config, **overrides)
+    return PropellerPipeline(program, config).reoptimize(state)

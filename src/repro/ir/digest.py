@@ -1,15 +1,17 @@
-"""Stable content digests for IR modules.
+"""Stable content digests for IR modules and functions.
 
 The distributed build cache keys compile actions by the digest of their
 inputs (§3.1).  The digest covers everything that affects code
-generation, so two builds of an unchanged module hit the cache.
+generation, so two builds of an unchanged module hit the cache.  The
+per-function digest is the CFG identity the incremental engine
+(:mod:`repro.incr`) compares across releases to find dirty functions.
 """
 
 from __future__ import annotations
 
 import hashlib
 
-from repro.ir.nodes import Call, CondBr, Instr, Jump, Module, Ret, Switch, Unreachable
+from repro.ir.nodes import Call, CondBr, Function, Instr, Jump, Module, Ret, Switch, Unreachable
 
 
 def _term_repr(term) -> str:
@@ -28,23 +30,39 @@ def _term_repr(term) -> str:
     raise TypeError(f"unknown terminator {term!r}")
 
 
+def _update_function(h, function: Function) -> None:
+    h.update(b"\x00F")
+    h.update(function.name.encode())
+    h.update(b"1" if function.hand_written else b"0")
+    for block in function.blocks:
+        h.update(f"\x00B{block.bb_id}:{int(block.is_landing_pad)}".encode())
+        for instr in block.instrs:
+            if isinstance(instr, Call):
+                targets = ";".join(f"{t}={p:.9f}" for t, p in instr.indirect_targets)
+                h.update(f"C{instr.callee}:{targets}:{instr.landing_pad}".encode())
+            elif isinstance(instr, Instr):
+                h.update(f"I{instr.kind.value}".encode())
+            else:
+                raise TypeError(f"unknown instruction {instr!r}")
+        h.update(_term_repr(block.term).encode())
+
+
+def function_digest(function: Function) -> str:
+    """SHA-256 digest of one function's full semantic content.
+
+    Covers exactly the per-function slice of :func:`module_digest`
+    (name, blocks, instructions, terminators), so a function's digest
+    changes iff its contribution to the module digest changes.
+    """
+    h = hashlib.sha256()
+    _update_function(h, function)
+    return h.hexdigest()
+
+
 def module_digest(module: Module) -> str:
     """SHA-256 digest of a module's full semantic content."""
     h = hashlib.sha256()
     h.update(module.name.encode())
     for function in module.functions:
-        h.update(b"\x00F")
-        h.update(function.name.encode())
-        h.update(b"1" if function.hand_written else b"0")
-        for block in function.blocks:
-            h.update(f"\x00B{block.bb_id}:{int(block.is_landing_pad)}".encode())
-            for instr in block.instrs:
-                if isinstance(instr, Call):
-                    targets = ";".join(f"{t}={p:.9f}" for t, p in instr.indirect_targets)
-                    h.update(f"C{instr.callee}:{targets}:{instr.landing_pad}".encode())
-                elif isinstance(instr, Instr):
-                    h.update(f"I{instr.kind.value}".encode())
-                else:
-                    raise TypeError(f"unknown instruction {instr!r}")
-            h.update(_term_repr(block.term).encode())
+        _update_function(h, function)
     return h.hexdigest()

@@ -745,6 +745,124 @@ def _faults_scenario() -> Scenario:
     )
 
 
+def _incr_scenario() -> Scenario:
+    """Quality scenario: the incremental re-optimization engine.
+
+    One prior release is built with ``--state-dir`` active, then three
+    seeded edit scripts (a one-function body edit, a cold-function
+    addition, a dead-function deletion) are each applied and
+    re-optimized incrementally against that state, and compared with a
+    full cold rebuild of the same edited program.  Gated, all exact:
+
+    * **bit-identity** -- ``PipelineResult.digest()`` of the
+      incremental run equals the full rebuild's, for every edit;
+    * **solve reuse** -- the one-function body edit replays at least
+      90% of the per-function Ext-TSP solves;
+    * **compute reduction** -- the incremental relink spends at most a
+      third of the full rebuild's total simulated CPU seconds (the
+      distributed-pool quantity the daily-release loop pays for);
+    * **pure replay** -- the empty edit script performs zero solve
+      lookups and reproduces the prior digest exactly.
+
+    Everything is simulated time and content digests, so every metric
+    is deterministic and exactly gated.
+    """
+    MIN_REUSE = 0.90
+    MIN_SPEEDUP = 3.0
+
+    def run(ctx: BenchContext) -> List[Metric]:
+        import tempfile
+
+        from repro.core.pipeline import PropellerPipeline
+        from repro.incr import IncrState
+        from repro.synth import EditScript
+
+        preset_name, scale = ctx.suite.presets[0]
+        program = _generate(ctx, preset_name, scale)
+
+        def sim_compute(result) -> float:
+            """Total simulated CPU seconds of one run: every backend
+            action, every link, profiling and analysis.  Makespan is
+            the wrong quantity here -- with a wide pool one module's
+            recompile dominates it whether 1 or 40 modules rebuild --
+            so the gate measures the compute the pool actually burns."""
+            builds = (result.baseline, result.metadata, result.optimized)
+            total = sum(b.backends.cpu_seconds + b.link_seconds for b in builds)
+            return total + sum(
+                result.phase_seconds.get(phase, 0.0)
+                for phase in ("pgo_profile_run", "lbr_profile_run", "wpa_convert")
+            )
+
+        metrics: List[Metric] = []
+        with tempfile.TemporaryDirectory(prefix="repro-incr-bench-") as tmp:
+            incr_config = _pipeline_config(
+                ctx, incremental=True, state_dir=tmp)
+            prior = PropellerPipeline(program, incr_config).run()
+            state_file = IncrState.capture(prior).save(tmp)
+
+            # Empty edit script, new pipeline: a pure cache replay.
+            replay = PropellerPipeline(program, incr_config).reoptimize(
+                state_file)
+            inc = replay.incremental
+            metrics.append(Metric(
+                "replay.digest_match",
+                int(replay.digest() == prior.digest()),
+                gate="exact", direction="higher"))
+            metrics.append(Metric(
+                "replay.dirty_functions", len(inc["dirty"]),
+                gate="exact", direction="lower"))
+            metrics.append(Metric(
+                "replay.solve_lookups",
+                inc["solve_hits"] + inc["solve_misses"],
+                gate="exact", direction="lower"))
+
+            edits = (
+                ("body", EditScript.generate(program, seed=ctx.seed,
+                                             kinds=("body",))),
+                ("add", EditScript.generate(program, seed=ctx.seed + 1,
+                                            kinds=("add",))),
+                ("delete", EditScript.generate(program, seed=ctx.seed + 2,
+                                               kinds=("delete",))),
+            )
+            for label, script in edits:
+                edited = script.apply(program)
+                incr = PropellerPipeline(edited, incr_config).reoptimize(
+                    state_file)
+                full = PropellerPipeline(edited, _pipeline_config(ctx)).run()
+                speedup = sim_compute(full) / sim_compute(incr)
+                metrics.append(Metric(
+                    f"{label}.digest_match",
+                    int(incr.digest() == full.digest()),
+                    gate="exact", direction="higher"))
+                metrics.append(Metric(
+                    f"{label}.sim_compute_speedup", speedup, "x",
+                    gate="exact", direction="higher"))
+                if label == "body":
+                    inc = incr.incremental
+                    metrics.append(Metric(
+                        "body.dirty_functions", len(inc["dirty"]),
+                        gate="exact", direction="lower"))
+                    metrics.append(Metric(
+                        "body.solve_reuse", inc["solve_reuse"],
+                        gate="exact", direction="higher"))
+                    metrics.append(Metric(
+                        "body.solve_reuse_ok",
+                        int(inc["solve_reuse"] >= MIN_REUSE),
+                        gate="exact", direction="higher"))
+                    metrics.append(Metric(
+                        "body.speedup_ok", int(speedup >= MIN_SPEEDUP),
+                        gate="exact", direction="higher"))
+        return metrics
+
+    return Scenario(
+        name="incr:edit-sweep",
+        title="incremental re-optimization: bit-identity, solve reuse, "
+              "compute reduction",
+        paper_ref="§3.6 deployment / iterative daily-release builds",
+        run=run,
+    )
+
+
 def suite_scenarios(suite: SuiteSpec) -> List[Scenario]:
     """The declarative scenario list for one suite tier."""
     scenarios = [_pipeline_scenario(name, scale) for name, scale in suite.presets]
@@ -752,6 +870,7 @@ def suite_scenarios(suite: SuiteSpec) -> List[Scenario]:
     scenarios.append(_cold_warm_scenario())
     scenarios.append(_jobs_scenario())
     scenarios.append(_faults_scenario())
+    scenarios.append(_incr_scenario())
     return scenarios
 
 

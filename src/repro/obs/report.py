@@ -85,6 +85,11 @@ class PipelineReport:
     degraded: bool = False
     #: One entry per degraded stage, e.g. ``("lbr-profile", "wpa")``.
     degraded_reasons: Tuple[str, ...] = ()
+    #: Incremental re-optimization accounting (dirty/added/deleted
+    #: function sets, hot-set flips, solve-cache reuse) when the run
+    #: came from ``PropellerPipeline.reoptimize``; empty otherwise.
+    #: See :mod:`repro.incr`.
+    incremental: Mapping[str, Any] = field(default_factory=dict)
     schema_version: int = METRICS_SCHEMA_VERSION
 
     def build(self, name: str) -> BuildStat:
@@ -135,6 +140,7 @@ class PipelineReport:
             "profile_recovery": dict(self.profile_recovery),
             "degraded": self.degraded,
             "degraded_reasons": list(self.degraded_reasons),
+            "incremental": dict(self.incremental),
         }
 
     @classmethod
@@ -163,4 +169,7 @@ class PipelineReport:
             # injection existed.
             degraded=bool(data.get("degraded", False)),
             degraded_reasons=tuple(data.get("degraded_reasons", ())),
+            # Additive in schema version 1: absent before incremental
+            # re-optimization existed.
+            incremental=dict(data.get("incremental", {})),
         )

@@ -15,9 +15,6 @@ toolchain (§2.2, §3.3):
   flow-conservation inference (:mod:`repro.profiles.matching`); and
   :class:`ProfileStore` blends profiles across synthetic releases with
   per-epoch decay.
-
-``repro.profiling`` is the deprecated alias of this package and emits
-a :class:`DeprecationWarning` on import (one release grace).
 """
 
 from repro.profiles.trace import (

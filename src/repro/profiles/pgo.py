@@ -101,6 +101,26 @@ class IRProfile:
         object.__setattr__(self, "_digest_memo", digest)
         return digest
 
+    def function_digest(self, func: str) -> str:
+        """SHA-256 over one function's slice of the profile content.
+
+        The per-function analogue of :meth:`digest` -- edge counts,
+        block counts and the call count of ``func``, floats hashed via
+        ``float.hex()`` -- used by :mod:`repro.incr` to detect which
+        functions' profiles changed between epochs without comparing
+        whole profiles.  A function the profile never saw digests to a
+        stable "empty" value.
+        """
+        h = hashlib.sha256()
+        h.update(b"\x00E")
+        for (src, dst), count in sorted(self.edges.get(func, {}).items()):
+            h.update(f"{src}:{dst}:{float(count).hex()};".encode())
+        h.update(b"\x00B")
+        for bb_id, count in sorted(self.blocks.get(func, {}).items()):
+            h.update(f"{bb_id}:{float(count).hex()};".encode())
+        h.update(f"\x00C{float(self.call_counts.get(func, 0.0)).hex()}".encode())
+        return h.hexdigest()
+
     def copy(self) -> "IRProfile":
         """An independent copy (fresh count dicts, shared anchors)."""
         return IRProfile(

@@ -22,6 +22,7 @@ from the rest of ``repro``, so any layer may use them.
 
 from repro.runtime.cache import (
     CACHE_DIR_ENV,
+    FunctionSolveCache,
     PersistentActionStore,
     resolve_cache_dir,
 )
@@ -29,6 +30,7 @@ from repro.runtime.executor import ParallelExecutor, default_jobs
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "FunctionSolveCache",
     "ParallelExecutor",
     "PersistentActionStore",
     "default_jobs",

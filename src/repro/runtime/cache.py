@@ -62,6 +62,76 @@ def resolve_cache_dir(explicit: "Optional[str | os.PathLike]" = None) -> Optiona
     return Path(env) if env else None
 
 
+class FunctionSolveCache:
+    """Memoized per-function layout solves, keyed by content signature.
+
+    The unit of work the incremental engine (:mod:`repro.incr`) reuses
+    across releases is one Ext-TSP solve: the layout of one function's
+    hot blocks.  Entries are keyed by
+    :func:`repro.core.exttsp.solve_signature` -- a digest over the
+    *exact* solver inputs (node sizes/weights in iteration order, edge
+    list, entry, scoring params), themselves derived from the
+    function's CFG digest, its profile counts and the codegen'd block
+    sizes -- so a replayed solution is bit-identical to a fresh solve
+    by construction, and a function whose CFG, profile or sizes changed
+    in any way can never alias a stale entry.
+
+    Two tiers: a per-process dict, and (when ``root`` is given) an
+    on-disk :class:`PersistentActionStore` beside the action store, so
+    a later release's run replays the previous release's solves.
+    Hit/miss accounting lands on the optional ``counters`` sink as
+    ``incr.solve_hits`` / ``incr.solve_misses`` -- always from the
+    submitting process, so the numbers are jobs-invariant.
+    """
+
+    def __init__(self, root: "Optional[str | os.PathLike]" = None,
+                 counters: Any = None):
+        self._memory: dict = {}
+        self._store = (
+            PersistentActionStore(root, counters=counters)
+            if root is not None else None
+        )
+        self.counters = counters
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of lookups replayed; 1.0 when nothing was looked up
+        (a full action-cache replay never reaches the solver at all)."""
+        return self.hits / self.lookups if self.lookups else 1.0
+
+    def get(self, key: str) -> Optional[list]:
+        """The memoized node order for ``key``, or None (a counted miss)."""
+        order = self._memory.get(key)
+        if order is None and self._store is not None:
+            order = self._store.load(key)
+            if order is not None:
+                self._memory[key] = order
+        if order is None:
+            self.misses += 1
+            if self.counters is not None:
+                self.counters.incr("incr.solve_misses")
+            return None
+        self.hits += 1
+        if self.counters is not None:
+            self.counters.incr("incr.solve_hits")
+        return list(order)
+
+    def put(self, key: str, order: list) -> None:
+        order = list(order)
+        self._memory[key] = order
+        if self._store is not None:
+            self._store.store(key, order)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
 class PersistentActionStore:
     """Content-addressed pickle store under one root directory."""
 

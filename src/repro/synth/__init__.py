@@ -19,9 +19,13 @@ from repro.synth.presets import (
     WorkloadPreset,
 )
 from repro.synth.generator import generate_workload
+from repro.synth.edits import EDIT_KINDS, Edit, EditScript
 
 __all__ = [
     "ALL_PRESETS",
+    "EDIT_KINDS",
+    "Edit",
+    "EditScript",
     "PRESETS",
     "SPEC_PRESETS",
     "WSC_PRESETS",

@@ -1,0 +1,247 @@
+"""Seeded source-edit scripts for incremental re-optimization studies.
+
+The incremental engine (:mod:`repro.incr`) is exercised against *edits*:
+small, realistic deltas between two releases of the same program.  An
+:class:`EditScript` is a deterministic, replayable description of such a
+delta -- generated from a seed, applied to a (cloned) program, and
+cheap to enumerate in tests and benchmarks.
+
+Three edit kinds cover the interesting invalidation shapes:
+
+* ``body`` -- rewrite the straight-line instructions of one function
+  (every plain :class:`~repro.ir.Instr` changes kind).  Calls and
+  terminators are untouched, so the CFG shape, the call graph and the
+  seeded profile walks are preserved: exactly one function's content
+  digest changes, the canonical "one-line fix" of a daily release.
+* ``add`` -- append a new, statically-unreferenced cold function to one
+  module (new code behind a flag that never executes in the load test).
+* ``delete`` -- remove a statically-unreferenced function (dead-code
+  cleanup).  When a program has no such function the edit degrades to a
+  ``body`` edit rather than failing, so sweeps never wedge on a
+  pathological program.
+
+Scripts never mutate their input: :meth:`EditScript.apply` clones,
+edits, re-verifies and returns a new :class:`~repro.ir.Program`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from repro.ir import (
+    BasicBlock,
+    Call,
+    Function,
+    Instr,
+    Jump,
+    Module,
+    OpKind,
+    Program,
+    Ret,
+    verify_program,
+)
+from repro.ir.passes import clone_program
+
+#: Edit kinds :meth:`EditScript.generate` understands.
+EDIT_KINDS = ("body", "add", "delete")
+
+
+def _statically_unreferenced(program: Program) -> List[str]:
+    """Function names no Call site references (and not the entry)."""
+    referenced: Set[str] = {program.entry_function}
+    for function in program.all_functions():
+        for block in function.blocks:
+            for instr in block.instrs:
+                if not isinstance(instr, Call):
+                    continue
+                if instr.callee is not None:
+                    referenced.add(instr.callee)
+                for target, _prob in instr.indirect_targets:
+                    referenced.add(target)
+    return [f.name for f in program.all_functions() if f.name not in referenced]
+
+
+def _body_candidates(program: Program) -> List[str]:
+    """Functions with at least one plain instruction to rewrite."""
+    return [
+        f.name
+        for f in program.all_functions()
+        if any(isinstance(i, Instr) for b in f.blocks for i in b.instrs)
+    ]
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One atomic edit.
+
+    ``function`` names the edited (or created/removed) function;
+    ``module`` names the hosting module; ``seed`` drives the edit's own
+    internal choices (which opcode each instruction becomes), so
+    application is independent of generation.
+    """
+
+    kind: str
+    function: str
+    module: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class EditScript:
+    """An ordered, immutable sequence of edits.
+
+    Build one with :meth:`generate` (seeded, deterministic) or directly
+    from :class:`Edit` tuples; replay it with :meth:`apply`.  The empty
+    script is valid and applies to a verified clone -- the "nothing
+    changed, new profile epoch only" case incremental re-optimization
+    must turn into a pure cache replay.
+    """
+
+    edits: Tuple[Edit, ...] = ()
+
+    @classmethod
+    def generate(
+        cls,
+        program: Program,
+        seed: int,
+        edits: int = 1,
+        kinds: Sequence[str] = ("body",),
+    ) -> "EditScript":
+        """Deterministically pick ``edits`` edits of the given kinds.
+
+        Kinds are used round-robin (edit ``i`` gets ``kinds[i % len]``).
+        Candidate selection never reuses a function within one script,
+        and a ``delete`` with no statically-unreferenced candidate
+        degrades to ``body``.
+        """
+        for kind in kinds:
+            if kind not in EDIT_KINDS:
+                raise ValueError(f"unknown edit kind {kind!r}")
+        rng = random.Random(seed)
+        used: Set[str] = set()
+        out: List[Edit] = []
+        for i in range(edits):
+            kind = kinds[i % len(kinds)]
+            if kind == "delete" and not [
+                n for n in _statically_unreferenced(program) if n not in used
+            ]:
+                kind = "body"
+            if kind == "add":
+                module = rng.choice(program.modules)
+                name = f"incr_new_{seed}_{i}"
+                out.append(Edit("add", name, module.name, rng.randrange(2**31)))
+                continue
+            if kind == "delete":
+                candidates = [
+                    n for n in _statically_unreferenced(program) if n not in used
+                ]
+            else:
+                candidates = [n for n in _body_candidates(program) if n not in used]
+            if not candidates:
+                raise ValueError(f"no candidate function for a {kind!r} edit")
+            name = rng.choice(candidates)
+            used.add(name)
+            out.append(Edit(kind, name, program.module_of(name).name,
+                            rng.randrange(2**31)))
+        return cls(edits=tuple(out))
+
+    def touched(self) -> FrozenSet[str]:
+        """Names of every function this script edits, adds or removes."""
+        return frozenset(e.function for e in self.edits)
+
+    def apply(self, program: Program) -> Program:
+        """A new, verified program with every edit applied in order."""
+        work = clone_program(program)
+        for edit in self.edits:
+            if edit.kind == "body":
+                _apply_body(work, edit)
+            elif edit.kind == "add":
+                _apply_add(work, edit)
+            elif edit.kind == "delete":
+                _apply_delete(work, edit)
+            else:  # pragma: no cover - generate() rejects unknown kinds
+                raise ValueError(f"unknown edit kind {edit.kind!r}")
+        # Rebuild containers so every name/block index is recomputed
+        # from the edited function lists.
+        out = Program(
+            name=work.name,
+            modules=[Module(name=m.name, functions=list(m.functions))
+                     for m in work.modules],
+            entry_function=work.entry_function,
+            features=work.features,
+        )
+        verify_program(out)
+        return out
+
+
+def _module(program: Program, name: str) -> Module:
+    for module in program.modules:
+        if module.name == name:
+            return module
+    raise ValueError(f"no module named {name!r}")
+
+
+def _apply_body(program: Program, edit: Edit) -> None:
+    """Change the kind of every plain instruction in one function.
+
+    Calls and terminators are preserved, so the random-walk profilers
+    consume their seeded streams identically: the edit is visible only
+    through the function's content digest and its codegen'd block
+    sizes.
+    """
+    rng = random.Random(edit.seed)
+    function = program.function(edit.function)
+    rewritten = 0
+    for block in function.blocks:
+        for i, instr in enumerate(block.instrs):
+            if isinstance(instr, Instr):
+                others = [k for k in OpKind if k is not instr.kind]
+                block.instrs[i] = Instr(rng.choice(others))
+                rewritten += 1
+    if not rewritten:
+        raise ValueError(
+            f"body edit of {edit.function!r} rewrote nothing "
+            "(no plain instructions)"
+        )
+
+
+def _apply_add(program: Program, edit: Edit) -> None:
+    """Append a small, statically-unreferenced cold function."""
+    if program.has_function(edit.function):
+        raise ValueError(f"add edit collides with existing {edit.function!r}")
+    rng = random.Random(edit.seed)
+    kinds = list(OpKind)
+    blocks = [
+        BasicBlock(
+            bb_id=0,
+            instrs=[Instr(rng.choice(kinds)) for _ in range(rng.randint(2, 6))],
+            term=Jump(target=1),
+        ),
+        BasicBlock(
+            bb_id=1,
+            instrs=[Instr(rng.choice(kinds)) for _ in range(rng.randint(1, 4))],
+            term=Ret(),
+        ),
+    ]
+    _module(program, edit.module).functions.append(
+        Function(name=edit.function, blocks=blocks)
+    )
+
+
+def _apply_delete(program: Program, edit: Edit) -> None:
+    """Remove one function; it must be statically unreferenced."""
+    if edit.function == program.entry_function:
+        raise ValueError("delete edit cannot remove the entry function")
+    if edit.function not in _statically_unreferenced(program):
+        raise ValueError(
+            f"delete edit target {edit.function!r} is still referenced"
+        )
+    module = _module(program, edit.module)
+    before = len(module.functions)
+    module.functions = [f for f in module.functions if f.name != edit.function]
+    if len(module.functions) == before:
+        raise ValueError(
+            f"delete edit target {edit.function!r} not in module {edit.module!r}"
+        )

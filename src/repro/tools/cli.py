@@ -54,6 +54,8 @@ PIPELINE_FLAG_FIELDS = {
     "enforce_ram": "enforce_ram",
     "stale_matching": "stale_matching",
     "fault_plan": "fault_plan",
+    "incremental": "incremental",
+    "state_dir": "state_dir",
 }
 
 
@@ -87,6 +89,16 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
                              "string like 'fail=0.02,timeout=0.01,seed=7' or "
                              "the path of a plan JSON file (see repro.faults); "
                              "changes simulated durations, never artifacts")
+    parser.add_argument("--incremental", action=argparse.BooleanOptionalAction,
+                        default=_DEFAULTS.incremental,
+                        help="incremental re-optimization (see repro.incr): "
+                             "replay per-function layout solves and prior "
+                             "build actions from --state-dir; bit-identical "
+                             "to a full run by construction")
+    parser.add_argument("--state-dir", default=_DEFAULTS.state_dir,
+                        help="directory holding incremental state across "
+                             "runs (IncrState snapshot, solve cache, action "
+                             "store); required by --incremental")
 
 
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
@@ -178,8 +190,25 @@ def cmd_wpa(args) -> int:
 
 def cmd_optimize(args) -> int:
     program = load_program(args.program)
-    pipe = PropellerPipeline(program, _config(args))
-    result = pipe.run()
+    config = _config(args)
+    pipe = PropellerPipeline(program, config)
+    if config.incremental:
+        from repro.incr import IncrState, state_path
+
+        if not config.state_dir:
+            log.error("--incremental requires --state-dir")
+            return 2
+        snapshot = state_path(config.state_dir)
+        if snapshot.exists():
+            result = pipe.reoptimize(IncrState.load(snapshot))
+        else:
+            log.info("no prior state at %s; running full (and capturing)",
+                     snapshot)
+            result = pipe.run()
+        IncrState.capture(result).save(snapshot)
+        log.info("captured incremental state at %s", snapshot)
+    else:
+        result = pipe.run()
     print(result.summary())
     if args.report:
         Path(args.report).write_text(result.summary() + "\n")

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.elf",
     "repro.faults",
     "repro.hwmodel",
+    "repro.incr",
     "repro.ir",
     "repro.isa",
     "repro.linker",
@@ -109,6 +110,15 @@ class TestFacade:
         assert repro.BuildSystem is BuildSystem
         assert repro.PRESETS is PRESETS
         assert repro.generate_workload is generate_workload
+
+    def test_facade_exports_incremental_api(self):
+        import repro
+        from repro.incr import IncrState, reoptimize
+        from repro.synth import EditScript
+
+        assert repro.reoptimize is reoptimize
+        assert repro.IncrState is IncrState
+        assert repro.EditScript is EditScript
 
     def test_unknown_attribute_raises(self):
         import repro

@@ -289,12 +289,12 @@ class TestPipelineObservability:
 
 
 class TestPublicAPI:
-    def test_link_options_alias_warns(self, tiny_program):
+    def test_deprecated_link_options_alias_removed(self, tiny_program):
+        """The one-release deprecation grace for ``_link_options`` is
+        over: only the public ``link_options`` remains."""
         pipe = PropellerPipeline(tiny_program, _config())
-        public = pipe.link_options("x.out")
-        with pytest.warns(DeprecationWarning, match="link_options"):
-            deprecated = pipe._link_options("x.out")
-        assert deprecated == public
+        assert pipe.link_options("x.out").output_name == "x.out"
+        assert not hasattr(pipe, "_link_options")
 
     def test_facade_exports_obs_types(self):
         import repro

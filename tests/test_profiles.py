@@ -1,5 +1,6 @@
 """Tests for repro.profiles: hashing, matching, inference, the store,
-the deprecated ``repro.profiling`` shims and the pipeline wiring."""
+the retirement of the ``repro.profiling`` alias and the pipeline
+wiring."""
 
 import dataclasses
 import importlib
@@ -34,7 +35,7 @@ def profile(program):
 
 
 # ----------------------------------------------------------------------
-# Deprecated shim package
+# Retired alias package
 
 
 def _purge(prefix):
@@ -42,33 +43,24 @@ def _purge(prefix):
         del sys.modules[name]
 
 
-class TestProfilingShims:
-    def test_package_warns_and_reexports(self):
+class TestProfilingAliasRetired:
+    """``repro.profiling`` had one release of deprecation grace as an
+    alias of :mod:`repro.profiles`; it is now gone for good."""
+
+    def test_package_is_gone(self):
         _purge("repro.profiling")
-        with pytest.warns(DeprecationWarning, match="repro.profiling is deprecated"):
-            import repro.profiling as shim
-        import repro.profiles as real
-        assert shim.IRProfile is real.IRProfile
-        assert shim.collect_ir_profile is real.collect_ir_profile
-        assert shim.generate_trace is real.generate_trace
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.profiling")
 
     @pytest.mark.parametrize("sub", ["pgo", "lbr", "trace", "autofdo"])
-    def test_submodules_warn_and_reexport(self, sub):
+    def test_submodules_are_gone(self, sub):
         _purge("repro.profiling")
-        # Importing the submodule first imports (and warns for) the
-        # package, so capture everything and pick out the submodule's.
-        with pytest.warns(DeprecationWarning) as record:
-            shim = importlib.import_module(f"repro.profiling.{sub}")
-        assert any(f"repro.profiling.{sub} is deprecated" in str(w.message)
-                   for w in record)
-        real = importlib.import_module(f"repro.profiles.{sub}")
-        for name in getattr(shim, "__all__", []):
-            assert getattr(shim, name) is getattr(real, name)
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module(f"repro.profiling.{sub}")
 
-    def test_internal_code_never_imports_the_shim(self):
-        """The shim's DeprecationWarning is an *error* under pytest
-        (see pyproject ``filterwarnings``), so importing the whole
-        public package must not touch repro.profiling."""
+    def test_public_package_never_references_it(self):
+        """Resolving the entire facade must not (be able to) pull in
+        the retired alias."""
         _purge("repro.profiling")
         import repro
         for name in repro.__all__:

@@ -197,12 +197,21 @@ class TestCLIAPIDiscipline:
                 )
 
     def test_cli_calls_no_private_pipeline_methods(self):
-        """The CLI must use only the public pipeline API."""
+        """The CLI and the examples must use only the public pipeline
+        API -- no ``pipe._foo(...)`` calls, no retired names."""
         import inspect
         import re
+        from pathlib import Path
 
         import repro.tools.cli as cli
 
-        source = inspect.getsource(cli)
-        private_calls = re.findall(r"\b(?:pipe|pipeline)\._\w+", source)
-        assert not private_calls, private_calls
+        sources = {"repro/tools/cli.py": inspect.getsource(cli)}
+        examples_dir = Path(__file__).resolve().parent.parent / "examples"
+        for path in sorted(examples_dir.glob("*.py")):
+            sources[f"examples/{path.name}"] = path.read_text()
+
+        for label, source in sources.items():
+            private_calls = re.findall(r"\b(?:pipe|pipeline)\._\w+", source)
+            assert not private_calls, f"{label}: {private_calls}"
+            retired = re.findall(r"repro\.profiling|\b_link_options\b", source)
+            assert not retired, f"{label}: {retired}"
