@@ -48,6 +48,8 @@ _FACADE = {
     "reoptimize": ("repro.incr", "reoptimize"),
     "IncrState": ("repro.incr", "IncrState"),
     "EditScript": ("repro.synth", "EditScript"),
+    "ExplainReport": ("repro.obs", "ExplainReport"),
+    "explain_results": ("repro.obs", "explain_results"),
 }
 
 __all__ = ["__version__", *sorted(_FACADE)]

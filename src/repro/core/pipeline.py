@@ -272,6 +272,33 @@ class PipelineResult:
         (binaries, ``max_blocks``, ``seed``, ``params``) -- which is
         what lets regression gates compare the values exactly.
         """
+        scorecard, _ = self._simulate_frontend(max_blocks, seed, params,
+                                               by_function=False)
+        return scorecard
+
+    def frontend_counters_by_function(
+        self,
+        max_blocks: int = 200_000,
+        seed: int = 77,
+        params=None,
+    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-function frontend attribution for both binaries.
+
+        Same simulation as :meth:`frontend_counters`, but with the
+        model's per-function accounting enabled: returns ``{"baseline":
+        {fn: {...}}, "optimized": {fn: {...}}}`` where each function's
+        dict carries the subset of counters the explain engine ranks on
+        (``cycles``, ``instructions``, ``l1i_miss``, ``itlb_miss``,
+        ``taken_branches``, ``baclears``, ``dsb_miss``).  Totals are
+        accumulated globally inside the model, so enabling attribution
+        never changes the gated scorecard values.
+        """
+        _, by_function = self._simulate_frontend(max_blocks, seed, params,
+                                                 by_function=True)
+        return by_function
+
+    def _simulate_frontend(self, max_blocks, seed, params, by_function):
+        """One frontend pass per binary; scorecard + optional attribution."""
         from repro.hwmodel import simulate_frontend
         from repro.hwmodel.frontend import SCALED_PARAMS
         from repro.profiles import generate_trace
@@ -279,14 +306,31 @@ class PipelineResult:
         if params is None:
             params = SCALED_PARAMS
         scorecard: Dict[str, Dict[str, float]] = {}
+        attribution: Dict[str, Dict[str, Dict[str, float]]] = {}
         for name, outcome in (("baseline", self.baseline),
                               ("optimized", self.optimized)):
             exe = outcome.executable
             trace = generate_trace(exe, max_blocks=max_blocks, seed=seed)
-            scorecard[name] = simulate_frontend(exe, trace, params).as_dict()
-        return scorecard
+            counters = simulate_frontend(exe, trace, params,
+                                         by_function=by_function)
+            scorecard[name] = counters.as_dict()
+            if by_function:
+                attribution[name] = {
+                    func: {
+                        "cycles": fc.cycles,
+                        "instructions": fc.instructions,
+                        "l1i_miss": float(fc.l1i_miss),
+                        "itlb_miss": float(fc.itlb_miss),
+                        "taken_branches": float(fc.taken_branches),
+                        "baclears": float(fc.baclears),
+                        "dsb_miss": float(fc.dsb_miss),
+                    }
+                    for func, fc in counters.per_function.items()
+                }
+        return scorecard, attribution
 
-    def report(self, include_frontend: bool = False) -> PipelineReport:
+    def report(self, include_frontend: bool = False,
+               include_attribution: bool = False) -> PipelineReport:
         """The run as a typed, JSON-able :class:`~repro.obs.PipelineReport`.
 
         This is the supported programmatic surface: :meth:`summary` is
@@ -298,6 +342,10 @@ class PipelineResult:
         model on the baseline and optimized binaries (a real
         measurement, not free) and attaches the hardware-counter
         scorecard as the report's ``frontend`` section.
+        ``include_attribution=True`` also fills the report's
+        ``frontend_by_function`` section with per-function attribution
+        (the input to ``repro-explain``); when both are requested the
+        simulation runs once and feeds both sections.
         """
         def build_stat(name: str, outcome: BuildOutcome) -> BuildStat:
             return BuildStat(
@@ -327,6 +375,14 @@ class PipelineResult:
                                   self.metadata.link_stats.peak_memory_bytes),
         }
         snapshot = self.counters.snapshot()
+        frontend: Dict[str, Dict[str, float]] = {}
+        frontend_by_function: Dict[str, Dict[str, Dict[str, float]]] = {}
+        if include_frontend or include_attribution:
+            scorecard, attribution = self._simulate_frontend(
+                200_000, 77, None, by_function=include_attribution)
+            if include_frontend:
+                frontend = scorecard
+            frontend_by_function = attribution
         return PipelineReport(
             program=self.program.name,
             modules=len(self.program.modules),
@@ -343,7 +399,8 @@ class PipelineResult:
             ),
             counters=snapshot["counters"],
             gauges=snapshot["gauges"],
-            frontend=self.frontend_counters() if include_frontend else {},
+            frontend=frontend,
+            frontend_by_function=frontend_by_function,
             profile_recovery=self.match_stats.as_dict() if self.match_stats else {},
             degraded=self.degraded,
             degraded_reasons=self.degraded_reasons,

@@ -19,7 +19,7 @@ DSB    (§5.4 discussion)                    decoded-stream-buffer misses
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.elf import Executable
 from repro.hwmodel.caches import SetAssociativeCache
@@ -133,6 +133,14 @@ class FrontendCounters:
     taken_branches: int = 0     # B2
     dsb_miss: int = 0
     cycles: float = 0.0
+    #: Per-function attribution of the same run, filled only when
+    #: :func:`simulate_frontend` was called with ``by_function=True``
+    #: (the hook behind ``repro.obs.explain``'s cycle attribution).
+    #: Each value's counters cover the events charged while that
+    #: function's blocks were fetching; the totals above are always
+    #: accumulated globally, so they are bit-identical whether
+    #: attribution ran or not.
+    per_function: Dict[str, "FrontendCounters"] = field(default_factory=dict)
 
     def counter(self, label: str) -> float:
         return {
@@ -170,13 +178,40 @@ class FrontendCounters:
         return self.instructions / self.cycles if self.cycles else 0.0
 
 
+def _model_cycles(params: SkylakeParams, instructions: float, l1i_miss: float,
+                  l2_miss: float, itlb_miss: float, itlb_walk: float,
+                  baclears: float, taken_branches: float,
+                  dsb_miss: float) -> float:
+    """The frontend cost model; linear, so per-function shares sum to ~total."""
+    return (
+        instructions / params.issue_width
+        + l1i_miss * params.l1i_miss_cycles
+        + l2_miss * params.l2_code_miss_cycles
+        + itlb_miss * params.itlb_miss_cycles
+        + itlb_walk * params.tlb_walk_cycles
+        + baclears * params.baclear_cycles
+        + taken_branches * params.taken_branch_cycles
+        + dsb_miss * params.dsb_miss_cycles
+    )
+
+
 def simulate_frontend(
     exe: Executable,
     trace: Trace,
     params: SkylakeParams = DEFAULT_PARAMS,
     simulate_dsb: bool = True,
+    by_function: bool = False,
 ) -> FrontendCounters:
-    """Replay ``trace`` (generated from ``exe``) through the frontend."""
+    """Replay ``trace`` (generated from ``exe``) through the frontend.
+
+    ``by_function=True`` additionally attributes every charged event to
+    the function whose block was fetching (branch events to the function
+    containing the branch source) and fills
+    :attr:`FrontendCounters.per_function`.  Attribution never perturbs
+    the shared cache/TLB/BTB state or the global accumulators, so the
+    totals are bit-identical with attribution on or off (asserted in
+    tests/test_hwmodel.py).
+    """
     counters = FrontendCounters()
     line_shift = params.line_bytes.bit_length() - 1
     page_shift = params.page_shift_2m if exe.hugepages else params.page_shift_4k
@@ -193,7 +228,9 @@ def simulate_frontend(
 
     # Precompute per-block fetch footprints.
     block_info: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], float, Tuple[int, ...]]] = {}
+    block_func: Dict[int, str] = {}
     for block in exe.exec_blocks:
+        block_func[block.addr] = block.func
         first_line = block.addr >> line_shift
         last_line = (block.addr + max(0, block.size - 1)) >> line_shift
         lines = tuple(range(first_line, last_line + 1))
@@ -219,6 +256,9 @@ def simulate_frontend(
     dsb_access = dsb.access if dsb is not None else None
     prefetch = params.next_line_prefetch
 
+    # func -> [instructions, blocks, l1i, l2, itlb, walk, dsb, taken, baclears]
+    per_func: Optional[Dict[str, List[float]]] = {} if by_function else None
+
     l1i_miss = 0
     l2_miss = 0
     itlb_miss = 0
@@ -229,6 +269,8 @@ def simulate_frontend(
     for addr in trace.block_addrs:
         lines, pages, windows, instrs, pf_lines = block_info[addr]
         instructions += instrs
+        if per_func is not None:
+            before = (l1i_miss, l2_miss, itlb_miss, itlb_walk, dsb_miss)
         for line in lines:
             if not l1i_access(line):
                 l1i_miss += 1
@@ -251,12 +293,43 @@ def simulate_frontend(
             for window in windows:
                 if not dsb_access(window):
                     dsb_miss += 1
+        if per_func is not None:
+            acc = per_func.get(block_func[addr])
+            if acc is None:
+                acc = per_func[block_func[addr]] = [0.0, 0, 0, 0, 0, 0, 0, 0, 0]
+            acc[0] += instrs
+            acc[1] += 1
+            acc[2] += l1i_miss - before[0]
+            acc[3] += l2_miss - before[1]
+            acc[4] += itlb_miss - before[2]
+            acc[5] += itlb_walk - before[3]
+            acc[6] += dsb_miss - before[4]
+
+    func_at = None
+    if per_func is not None:
+        # Branch sources are instruction addresses inside blocks; map
+        # them to the containing function by interval bisection.
+        from bisect import bisect_right
+
+        starts = sorted(block_func)
+        start_funcs = [block_func[a] for a in starts]
+
+        def func_at(addr: int) -> str:
+            return start_funcs[bisect_right(starts, addr) - 1]
 
     btb_access = btb.access
     baclears = 0
     for src in trace.branch_src:
-        if not btb_access(src):
+        hit = btb_access(src)
+        if not hit:
             baclears += 1
+        if func_at is not None:
+            acc = per_func.get(func_at(src))
+            if acc is None:
+                acc = per_func[func_at(src)] = [0.0, 0, 0, 0, 0, 0, 0, 0, 0]
+            acc[7] += 1
+            if not hit:
+                acc[8] += 1
 
     counters.blocks = trace.num_blocks_executed
     counters.instructions = instructions
@@ -278,4 +351,20 @@ def simulate_frontend(
         + trace.num_branches * params.taken_branch_cycles
         + dsb_miss * params.dsb_miss_cycles
     )
+    if per_func is not None:
+        for func, acc in per_func.items():
+            counters.per_function[func] = FrontendCounters(
+                instructions=acc[0],
+                blocks=int(acc[1]),
+                l1i_miss=int(acc[2]),
+                l2_code_miss=int(acc[3]),
+                l1i_stall_cycles=acc[2] * params.l1i_miss_cycles,
+                itlb_miss=int(acc[4]),
+                itlb_walk=int(acc[5]),
+                baclears=int(acc[8]),
+                taken_branches=int(acc[7]),
+                dsb_miss=int(acc[6]),
+                cycles=_model_cycles(params, acc[0], acc[2], acc[3], acc[4],
+                                     acc[5], acc[8], acc[7], acc[6]),
+            )
     return counters

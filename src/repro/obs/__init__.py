@@ -47,12 +47,29 @@ from repro.obs.bench import (
     run_suite,
 )
 from repro.obs.counters import Counters
+from repro.obs.critical_path import (
+    CriticalPath,
+    PathStep,
+    critical_path,
+    spans_from_chrome,
+)
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA_VERSION,
+    CounterDelta,
+    ExplainReport,
+    FunctionDelta,
+    PhaseDelta,
+    RunSnapshot,
+    explain,
+    explain_results,
+)
 from repro.obs.export import (
     bench_markdown,
     bench_scorecard,
     chrome_trace,
     comparison_markdown,
     comparison_table,
+    counters_table,
     frontend_table,
     metrics_table,
     write_chrome_trace,
@@ -72,15 +89,23 @@ __all__ = [
     "BenchReport",
     "BuildStat",
     "Comparison",
+    "CounterDelta",
     "Counters",
+    "CriticalPath",
+    "EXPLAIN_SCHEMA_VERSION",
+    "ExplainReport",
+    "FunctionDelta",
     "METRICS_SCHEMA_VERSION",
     "Metric",
     "MetricComparison",
     "NULL_TRACER",
     "NullTracer",
+    "PathStep",
+    "PhaseDelta",
     "PhaseStat",
     "PipelineReport",
     "REGEN_BASELINE_ENV",
+    "RunSnapshot",
     "SUITES",
     "ScenarioResult",
     "Span",
@@ -92,12 +117,17 @@ __all__ = [
     "comparison_markdown",
     "comparison_table",
     "configure_logging",
+    "counters_table",
+    "critical_path",
+    "explain",
+    "explain_results",
     "frontend_table",
     "get_logger",
     "load_bench_report",
     "metrics_table",
     "next_bench_path",
     "run_suite",
+    "spans_from_chrome",
     "write_bench_report",
     "write_chrome_trace",
     "write_metrics",

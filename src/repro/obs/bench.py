@@ -863,6 +863,75 @@ def _incr_scenario() -> Scenario:
     )
 
 
+def _explain_scenario() -> Scenario:
+    """Quality scenario: the run-to-run attribution engine.
+
+    Two gates, both exact and both straight from the acceptance
+    contract of :mod:`repro.obs.explain`:
+
+    * **fixed point** -- two identical runs explain to an empty
+      attribution list with zero suspicious counter deltas;
+    * **attribution** -- after a seeded one-function body edit of the
+      hottest body-editable function, that function ranks #1 with
+      cause ``code-edit``, and its cycle delta is gated bit-exactly.
+
+    Everything is simulated (frontend-model cycles, digest evidence),
+    so every metric is deterministic.
+    """
+
+    def run(ctx: BenchContext) -> List[Metric]:
+        from repro.core.pipeline import PropellerPipeline
+        from repro.obs.explain import explain_results
+        from repro.synth import EditScript
+        from repro.synth.edits import Edit, _body_candidates
+
+        preset_name, scale = ctx.suite.presets[0]
+        program = _generate(ctx, preset_name, scale)
+        config = _pipeline_config(ctx)
+        blocks = ctx.suite.trace_blocks
+
+        base = PropellerPipeline(program, config).run()
+        rerun = PropellerPipeline(program, config).run()
+        fixed = explain_results(base, rerun, max_blocks=blocks,
+                                labels=("base", "rerun"))
+
+        per = base.frontend_counters_by_function(
+            max_blocks=blocks)["optimized"]
+        target = max(_body_candidates(program),
+                     key=lambda f: (per.get(f, {}).get("cycles", 0.0), f))
+        script = EditScript(edits=(
+            Edit("body", target, program.module_of(target).name, ctx.seed),))
+        edited = PropellerPipeline(script.apply(program), config).run()
+        rep = explain_results(base, edited, max_blocks=blocks,
+                              labels=("base", "edited"))
+        top = rep.attribution[0] if rep.attribution else None
+        return [
+            Metric("identical.attributed_functions", len(fixed.attribution),
+                   gate="exact", direction="lower"),
+            Metric("identical.suspicious_deltas", len(fixed.suspicious),
+                   gate="exact", direction="lower"),
+            Metric("edited.rank1_is_target",
+                   int(top is not None and top.function == target),
+                   gate="exact", direction="higher"),
+            Metric("edited.rank1_cause_code_edit",
+                   int(top is not None and top.cause == "code-edit"),
+                   gate="exact", direction="higher"),
+            Metric("edited.target_cycle_delta",
+                   top.delta if top is not None else 0.0, "cycles",
+                   gate="exact", direction="none"),
+            Metric("edited.attributed_functions", len(rep.attribution),
+                   gate="exact", direction="none"),
+        ]
+
+    return Scenario(
+        name="explain:attribution",
+        title="run-to-run attribution: identical-run fixed point, "
+              "edited-function cause tagging",
+        paper_ref="§5 per-phase/per-function accounting",
+        run=run,
+    )
+
+
 def suite_scenarios(suite: SuiteSpec) -> List[Scenario]:
     """The declarative scenario list for one suite tier."""
     scenarios = [_pipeline_scenario(name, scale) for name, scale in suite.presets]
@@ -871,6 +940,7 @@ def suite_scenarios(suite: SuiteSpec) -> List[Scenario]:
     scenarios.append(_jobs_scenario())
     scenarios.append(_faults_scenario())
     scenarios.append(_incr_scenario())
+    scenarios.append(_explain_scenario())
     return scenarios
 
 

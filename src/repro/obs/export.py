@@ -35,6 +35,7 @@ __all__ = [
     "chrome_trace",
     "comparison_markdown",
     "comparison_table",
+    "counters_table",
     "write_chrome_trace",
     "write_metrics",
     "metrics_table",
@@ -97,6 +98,25 @@ def metrics_table(report: PipelineReport) -> "Table":
             phase.name, f"{phase.sim_seconds:.2f}",
             format_bytes(phase.peak_memory_bytes), "-", "-",
         )
+    return table
+
+
+def counters_table(report: PipelineReport) -> "Table":
+    """The report's counters and gauges as an aligned text table.
+
+    Every metric the run accumulated -- cache, scheduler, profile
+    quality, ``incr.*`` reuse, ``faults.*``/``retry.*`` resilience --
+    in one sorted table, so the counter surface the README glossary
+    documents is inspectable without poking at JSON.
+    """
+    from repro.analysis import Table
+
+    table = Table(["metric", "kind", "value"],
+                  title=f"{report.program}: counters and gauges")
+    for name in sorted(report.counters):
+        table.add_row(name, "counter", _fmt_value(report.counters[name]))
+    for name in sorted(report.gauges):
+        table.add_row(name, "gauge", _fmt_value(report.gauges[name]))
     return table
 
 

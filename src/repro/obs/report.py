@@ -73,6 +73,13 @@ class PipelineReport:
     #: not simulate the frontend (it is an opt-in measurement, not an
     #: accounting byproduct).
     frontend: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    #: Per-function frontend attribution (``baseline``/``optimized``
+    #: -> function -> counter -> value), as produced by
+    #: ``PipelineResult.frontend_counters_by_function()``.  Empty unless
+    #: the report was built with ``include_attribution=True``; this is
+    #: the input ``repro-explain`` ranks cycle deltas from.
+    frontend_by_function: Mapping[str, Mapping[str, Mapping[str, float]]] = (
+        field(default_factory=dict))
     #: Stale-profile matching accounting (mode, match tiers, inferred
     #: counts, stale/recovered match rates) when the run enabled
     #: ``stale_matching``; empty otherwise.  See
@@ -137,6 +144,10 @@ class PipelineReport:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "frontend": {k: dict(v) for k, v in self.frontend.items()},
+            "frontend_by_function": {
+                binary: {fn: dict(c) for fn, c in funcs.items()}
+                for binary, funcs in self.frontend_by_function.items()
+            },
             "profile_recovery": dict(self.profile_recovery),
             "degraded": self.degraded,
             "degraded_reasons": list(self.degraded_reasons),
@@ -162,6 +173,12 @@ class PipelineReport:
             # Additive in schema version 1: absent in payloads written
             # before the frontend scorecard existed.
             frontend={k: dict(v) for k, v in data.get("frontend", {}).items()},
+            # Additive in schema version 1: absent before the explain
+            # engine's per-function attribution existed.
+            frontend_by_function={
+                binary: {fn: dict(c) for fn, c in funcs.items()}
+                for binary, funcs in data.get("frontend_by_function", {}).items()
+            },
             # Additive in schema version 1: absent before stale-profile
             # matching existed.
             profile_recovery=dict(data.get("profile_recovery", {})),

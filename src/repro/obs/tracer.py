@@ -137,6 +137,12 @@ class Tracer:
         self._stack: List[SpanHandle] = []
         #: Completed spans, in *close* order.
         self.spans: List[Span] = []
+        # Lazy name -> spans index for find(): built incrementally on
+        # demand so repeated lookups (the explain engine's critical-path
+        # pass queries every phase and build name) stay O(new spans)
+        # instead of re-scanning the whole list each call.
+        self._find_index: Dict[str, List[Span]] = {}
+        self._indexed_upto = 0
 
     @property
     def sim_now(self) -> float:
@@ -159,8 +165,20 @@ class Tracer:
         return SpanHandle(self, name, category, args)
 
     def find(self, name: str) -> List[Span]:
-        """All completed spans with the given name."""
-        return [s for s in self.spans if s.name == name]
+        """All completed spans with the given name (close order).
+
+        Backed by an incrementally-maintained name index: spans closed
+        since the last call are folded in, then the lookup is a dict
+        hit.  The returned list is a copy; mutating it does not corrupt
+        the index.
+        """
+        spans = self.spans
+        if self._indexed_upto < len(spans):
+            index = self._find_index
+            for span in spans[self._indexed_upto:]:
+                index.setdefault(span.name, []).append(span)
+            self._indexed_upto = len(spans)
+        return list(self._find_index.get(name, ()))
 
 
 class _NullSpan:

@@ -8,9 +8,15 @@ Commands mirror the paper's tool flow:
 * ``wpa``       -- the create_llvm_prof analogue: profile -> cc_prof/ld_prof;
 * ``optimize``  -- run all four phases and report;
 * ``compare``   -- Propeller vs BOLT on one workload;
+* ``edit``      -- apply a seeded edit script to a workload (the "next
+  release" of incremental/attribution studies);
 * ``bench``     -- the continuous benchmark harness (also installed as
   the ``repro-bench`` console script): run a scenario suite, write a
-  ``BENCH_<n>.json`` scorecard, and optionally gate against a baseline.
+  ``BENCH_<n>.json`` scorecard, and optionally gate against a baseline;
+* ``explain``   -- the run-to-run attribution engine (also installed as
+  the ``repro-explain`` console script): diff two runs' metrics/trace/
+  state artifacts and say which functions, layout decisions and phases
+  moved, and why (see :mod:`repro.obs.explain`).
 
 Output discipline: *results* (tables, summaries, scorecards) go to
 stdout via ``print``; *progress* goes through the :mod:`repro.obs.log`
@@ -135,7 +141,11 @@ def _export_observability(args, pipe: PropellerPipeline, result) -> None:
     if getattr(args, "metrics_out", None):
         from repro.obs import write_metrics
 
-        write_metrics(result.report(include_frontend=True), args.metrics_out)
+        # Attribution rides along so any two --metrics-out files are
+        # explainable (repro-explain) without re-running the pipeline.
+        write_metrics(
+            result.report(include_frontend=True, include_attribution=True),
+            args.metrics_out)
         log.info("wrote metrics to %s", args.metrics_out)
 
 
@@ -209,6 +219,15 @@ def cmd_optimize(args) -> int:
         log.info("captured incremental state at %s", snapshot)
     else:
         result = pipe.run()
+        if config.state_dir:
+            # Capture change evidence even for full runs: two snapshots
+            # are what lets `explain` tag each mover's cause (code
+            # edit vs profile drift vs hot-set churn) from files alone.
+            from repro.incr import IncrState, state_path
+
+            snapshot = state_path(config.state_dir)
+            IncrState.capture(result).save(snapshot)
+            log.info("captured incremental state at %s", snapshot)
     print(result.summary())
     if args.report:
         Path(args.report).write_text(result.summary() + "\n")
@@ -255,6 +274,85 @@ def cmd_compare(args) -> int:
     print(table)
     if bolt_exe is None:
         print(f"\nBOLT: {bolt_note}")
+    return 0
+
+
+def cmd_edit(args) -> int:
+    """Apply a seeded edit script and save the edited program.
+
+    ``--pick seed`` delegates candidate choice to
+    :meth:`repro.synth.EditScript.generate` (any body candidate);
+    ``--pick hottest`` targets the body candidate with the largest
+    instrumented-profile mass -- the deterministic "one-line fix in the
+    hot loop" the attribution acceptance tests revolve around.  The
+    touched function names are printed to stdout, one per line, so
+    scripts can capture what changed.
+    """
+    from repro.synth import EditScript
+    from repro.synth.edits import Edit, _body_candidates
+
+    program = load_program(args.program)
+    if args.pick == "hottest":
+        from repro.profiles import collect_ir_profile
+
+        profile = collect_ir_profile(program, max_steps=args.pgo_steps,
+                                     seed=args.seed)
+        candidates = _body_candidates(program)
+        if not candidates:
+            log.error("no body-editable function in %s", args.program)
+            return 2
+        target = max(candidates,
+                     key=lambda f: (sum(profile.block_counts(f).values()), f))
+        script = EditScript(edits=(
+            Edit("body", target, program.module_of(target).name, args.seed),))
+    else:
+        script = EditScript.generate(program, seed=args.seed,
+                                     edits=args.edits,
+                                     kinds=tuple(args.kinds.split(",")))
+    edited = script.apply(program)
+    save_program(edited, args.output)
+    log.info("%s: applied %d edit(s)", args.output, len(script.edits))
+    for name in sorted(script.touched()):
+        print(name)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Diff two runs and print/write the attribution report.
+
+    Exit codes: 0 = explained; 2 = unusable inputs.  A report full of
+    suspicious deltas still exits 0 -- the report is the answer, and
+    gating belongs to ``bench --compare``.
+    """
+    from repro.obs import RunSnapshot, explain
+
+    try:
+        base = RunSnapshot.load(args.base, trace=args.base_trace,
+                                state=args.base_state,
+                                label=args.label_base)
+        new = RunSnapshot.load(args.new, trace=args.new_trace,
+                               state=args.new_state,
+                               label=args.label_new)
+    except (OSError, ValueError) as exc:
+        log.error("%s", exc)
+        return 2
+    report = explain(base, new, top_k=args.top_k)
+    print(report.table())
+    suspicious = report.suspicious
+    if suspicious:
+        print()
+        print(f"{len(suspicious)} suspicious counter delta(s):")
+        for c in suspicious:
+            print(f"  {c.name}: {c.base:g} -> {c.new:g} ({c.reason})")
+    if args.json:
+        import json as _json
+
+        Path(args.json).write_text(
+            _json.dumps(report.to_json(), indent=2, sort_keys=True))
+        log.info("wrote explain report to %s", args.json)
+    if args.markdown:
+        Path(args.markdown).write_text(report.markdown())
+        log.info("wrote markdown report to %s", args.markdown)
     return 0
 
 
@@ -390,6 +488,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_verbosity_args(p)
     p.set_defaults(fn=cmd_compare)
 
+    p = sub.add_parser("edit", help="apply a seeded edit script (next release)")
+    p.add_argument("program")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--edits", type=int, default=1,
+                   help="number of edits (--pick seed only)")
+    p.add_argument("--kinds", default="body",
+                   help="comma-separated edit kinds (body,add,delete)")
+    p.add_argument("--pick", choices=("seed", "hottest"), default="seed",
+                   help="candidate choice: 'seed' = any body candidate "
+                        "(EditScript.generate), 'hottest' = the body "
+                        "candidate with the most instrumented-profile mass")
+    p.add_argument("--pgo-steps", type=int, default=_DEFAULTS.pgo_steps,
+                   help="training-run length for --pick hottest")
+    _add_verbosity_args(p)
+    p.set_defaults(fn=cmd_edit)
+
+    p = sub.add_parser(
+        "explain",
+        help="run-to-run attribution (also the repro-explain entry point)")
+    p.add_argument("base", help="base run: metrics JSON, BENCH_<n>.json, "
+                                "or a --state-dir/state.json snapshot")
+    p.add_argument("new", help="new run (same kind as base)")
+    p.add_argument("--base-trace", metavar="FILE", default=None,
+                   help="base run's --trace-out Chrome trace")
+    p.add_argument("--new-trace", metavar="FILE", default=None,
+                   help="new run's --trace-out Chrome trace")
+    p.add_argument("--base-state", metavar="PATH", default=None,
+                   help="base run's --state-dir (adds cause evidence)")
+    p.add_argument("--new-state", metavar="PATH", default=None,
+                   help="new run's --state-dir (adds cause evidence)")
+    p.add_argument("--top-k", type=int, default=10,
+                   help="attribution entries to keep (default: 10)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the schema-versioned ExplainReport JSON")
+    p.add_argument("--markdown", metavar="FILE", default=None,
+                   help="write the markdown scorecard")
+    p.add_argument("--label-base", default=None,
+                   help="label for the base run (default: file name)")
+    p.add_argument("--label-new", default=None,
+                   help="label for the new run (default: file name)")
+    _add_verbosity_args(p)
+    p.set_defaults(fn=cmd_explain)
+
     p = sub.add_parser(
         "bench",
         help="run the benchmark suite (also the repro-bench entry point)")
@@ -436,6 +578,13 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     return main(["bench", *argv])
+
+
+def explain_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-explain`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["explain", *argv])
 
 
 if __name__ == "__main__":

@@ -130,6 +130,46 @@ class TestFrontend:
         assert huge.itlb_miss < normal.itlb_miss
 
 
+class TestPerFunctionAttribution:
+    def test_totals_bit_identical_with_attribution_on(self, pipeline_result):
+        exe = pipeline_result.optimized.executable
+        trace = generate_trace(exe, max_blocks=30_000, seed=1)
+        plain = simulate_frontend(exe, trace)
+        attributed = simulate_frontend(exe, trace, by_function=True)
+        # The gated scorecard must not move when attribution is on:
+        # per-function accounting reads the same event stream, it never
+        # re-simulates it.
+        assert attributed.as_dict() == plain.as_dict()
+        assert plain.per_function == {}
+        assert attributed.per_function
+
+    def test_shares_sum_to_totals(self, pipeline_result):
+        exe = pipeline_result.optimized.executable
+        trace = generate_trace(exe, max_blocks=30_000, seed=1)
+        c = simulate_frontend(exe, trace, by_function=True)
+        per = c.per_function.values()
+        # Instructions are fractional (size/avg-bytes), so summation
+        # order costs a few ulps; every integer counter is exact.
+        assert sum(f.instructions for f in per) == pytest.approx(
+            c.instructions, rel=1e-12)
+        assert sum(f.blocks for f in per) == c.blocks
+        assert sum(f.l1i_miss for f in per) == c.l1i_miss
+        assert sum(f.itlb_miss for f in per) == c.itlb_miss
+        assert sum(f.dsb_miss for f in per) == c.dsb_miss
+        assert sum(f.taken_branches for f in per) == c.taken_branches
+        assert sum(f.baclears for f in per) == c.baclears
+        # Cycles are modelled per function with the same linear formula,
+        # so the shares sum to the total up to float association.
+        assert sum(f.cycles for f in per) == pytest.approx(c.cycles)
+
+    def test_functions_cover_the_trace(self, pipeline_result):
+        exe = pipeline_result.optimized.executable
+        trace = generate_trace(exe, max_blocks=10_000, seed=1)
+        c = simulate_frontend(exe, trace, by_function=True)
+        visited = {exe.block_at(addr).func for addr in trace.block_addrs}
+        assert set(c.per_function) == visited
+
+
 class TestHeatmap:
     def test_shape_and_counts(self, pipeline_result):
         exe = pipeline_result.baseline.executable

@@ -66,6 +66,26 @@ class TestChromeTraceSchema:
         assert sim == real
         assert len(sim) == len(pipe.tracer.spans)
 
+    def test_empty_tracer_exports_metadata_only(self):
+        from repro.obs import Tracer
+
+        payload = chrome_trace(Tracer())
+        events = payload["traceEvents"]
+        # Still a valid trace file: the two process_name records and
+        # nothing else -- Perfetto opens it to an empty timeline
+        # rather than erroring out.
+        assert [e["ph"] for e in events] == ["M", "M"]
+        assert {e["pid"] for e in events} == {SIM_PID, REAL_PID}
+
+    def test_disabled_tracer_exports_cleanly(self, tmp_path):
+        from repro.obs import NULL_TRACER
+        from repro.obs.export import write_chrome_trace
+
+        path = tmp_path / "null-trace.json"
+        write_chrome_trace(NULL_TRACER, path)
+        payload = json.loads(path.read_text())
+        assert all(e["ph"] == "M" for e in payload["traceEvents"])
+
 
 class TestReportRoundTrip:
     def test_frontend_section_is_populated(self, frontend_report):
@@ -99,6 +119,30 @@ class TestReportRoundTrip:
     def test_frontend_table_renders(self, frontend_report):
         text = str(frontend_table(frontend_report))
         assert "baseline" in text and "optimized" in text and "I1" in text
+
+    def test_attribution_section_roundtrips(self, traced):
+        _, result = traced
+        report = result.report(include_frontend=True,
+                               include_attribution=True)
+        per = report.frontend_by_function["optimized"]
+        assert per, "attribution must name functions"
+        assert all("cycles" in c for c in per.values())
+        payload = json.loads(json.dumps(report.to_json()))
+        assert PipelineReport.from_json(payload) == report
+        # Pre-attribution payloads lack the key entirely.
+        del payload["frontend_by_function"]
+        assert PipelineReport.from_json(payload).frontend_by_function == {}
+
+    def test_counters_table_covers_counters_and_gauges(self, traced):
+        from repro.obs import counters_table
+
+        _, result = traced
+        report = result.report()
+        text = str(counters_table(report))
+        for name in list(report.counters)[:3]:
+            assert name in text
+        for name in list(report.gauges)[:3]:
+            assert name in text
 
 
 class TestBenchRendering:
