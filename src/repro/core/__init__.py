@@ -18,7 +18,8 @@ Submodules load lazily (PEP 562): ``import repro.core.exttsp`` pulls in
 only the layout algorithm, not the pipeline's linker/profiling stack.
 """
 
-__all__ = ["bbsections", "exttsp", "funcorder", "pipeline", "prefetch", "wpa"]
+__all__ = ["bbsections", "exttsp", "funcorder", "pipeline", "prefetch",
+           "stages", "wpa"]
 
 
 def __getattr__(name):

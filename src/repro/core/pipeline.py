@@ -29,6 +29,17 @@ from repro.analysis import MemoryMeter
 from repro.buildsys import BuildSystem, PhaseReport
 from repro.codegen import BBSectionsMode, CodeGenOptions, compile_action
 from repro.core import wpa as wpa_mod
+from repro.core.stages import (
+    Artifact,
+    ArtifactSet,
+    ExecutionObserver,
+    Fallback,
+    Stage,
+    StageContext,
+    StageExecution,
+    StageGraph,
+    StageGraphError,
+)
 from repro.core.wpa import WPAOptions, WPAResult, WPAStats
 from repro.elf import Executable, ObjectFile
 from repro.faults import FaultPlan, RetriesExhausted
@@ -59,6 +70,26 @@ from repro.runtime import (
     resolve_cache_dir,
 )
 from repro.runtime.executor import shared_executor
+
+#: Modelled cost of the instrumented (``-fprofile-generate``) build
+#: relative to the optimized baseline build it precedes: slightly
+#: cheaper, because instrumentation replaces the optimization passes
+#: whose time it saves with cheap counter insertion.  Reported as
+#: ``phase_seconds["pgo_instrumented_build"]`` (Fig. 4's PGO column);
+#: purely accounting, never part of any artifact digest.
+INSTRUMENTED_BUILD_FACTOR = 0.9
+
+
+def empty_wpa_result() -> WPAResult:
+    """The no-directives WPA result degraded runs fall back to.
+
+    With empty clusters and an empty symbol order, Phase 4 degenerates
+    to the stale-matching recovery's warm clusters when available, or
+    to the baseline layout -- the honest "ship something" outcome when
+    profile collection or analysis exhausted its retry budget.
+    """
+    return WPAResult(clusters={}, symbol_order=[], hot_functions=[],
+                     dcfg={}, call_edges={}, stats=WPAStats())
 
 
 @dataclass(frozen=True)
@@ -195,6 +226,50 @@ class BuildOutcome:
         return self.backends.wall_seconds + self.link_seconds
 
 
+@dataclass(frozen=True)
+class IncrementalSummary:
+    """Typed accounting of one :meth:`PropellerPipeline.reoptimize` run.
+
+    The dirty plan (what changed since the prior release's snapshot and
+    why), the hot-set churn, and the solve-cache reuse tallies.  Pure
+    accounting -- never part of :meth:`PipelineResult.digest` -- and
+    serialized onto the report additively via :meth:`as_dict`, whose
+    layout is byte-compatible with the raw dict it replaced.
+    """
+
+    #: ``result.digest()`` of the prior release the plan was made against.
+    prior_digest: str
+    #: Functions whose CFG or profile slice changed (sorted).
+    dirty: Tuple[str, ...]
+    #: Functions absent from the prior snapshot (sorted).
+    added: Tuple[str, ...]
+    #: Prior functions no longer present (sorted).
+    deleted: Tuple[str, ...]
+    #: Function -> why it was planned dirty (``code``/``profile``/...).
+    reasons: Dict[str, str]
+    #: Functions entering or leaving the WPA hot set (sorted).
+    hot_flips: Tuple[str, ...]
+    #: Solve-cache replays / fresh solves during the run.
+    solve_hits: int
+    solve_misses: int
+    #: ``hits / lookups`` (1.0 when nothing was looked up).
+    solve_reuse: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The report-layer layout (JSON-able, key order preserved)."""
+        return {
+            "prior_digest": self.prior_digest,
+            "dirty": list(self.dirty),
+            "added": list(self.added),
+            "deleted": list(self.deleted),
+            "reasons": dict(self.reasons),
+            "hot_flips": list(self.hot_flips),
+            "solve_hits": self.solve_hits,
+            "solve_misses": self.solve_misses,
+            "solve_reuse": self.solve_reuse,
+        }
+
+
 @dataclass
 class PipelineResult:
     """Everything the four phases produced."""
@@ -230,7 +305,7 @@ class PipelineResult:
     #: function sets, their reasons, hot-set flips and the solve-cache
     #: hit/miss tallies.  Accounting, never content -- excluded from
     #: :meth:`digest` like every other non-artifact field.
-    incremental: Dict[str, Any] = field(default_factory=dict)
+    incremental: Optional[IncrementalSummary] = None
 
     @property
     def pct_hot_objects(self) -> float:
@@ -404,7 +479,8 @@ class PipelineResult:
             profile_recovery=self.match_stats.as_dict() if self.match_stats else {},
             degraded=self.degraded,
             degraded_reasons=self.degraded_reasons,
-            incremental=dict(self.incremental),
+            incremental=(self.incremental.as_dict()
+                         if self.incremental is not None else {}),
         )
 
     def summary(self) -> str:
@@ -849,129 +925,110 @@ class PropellerPipeline:
         )
         return result
 
-    def _degrade(self, reason: str, exc: RetriesExhausted,
-                 reasons: List[str]) -> None:
-        """Record one graceful degradation (see ``PipelineConfig.fault_plan``)."""
-        reasons.append(reason)
-        self.counters.incr("faults.degraded")
-        with self.tracer.span(f"degraded:{reason}", category="fault") as sp:
-            sp.note(kind=exc.kind, attempts=exc.attempts,
-                    events=",".join(exc.events))
-
     @staticmethod
     def _empty_wpa_result() -> WPAResult:
-        """The no-directives WPA result degraded runs fall back to."""
-        return WPAResult(clusters={}, symbol_order=[], hot_functions=[],
-                         dcfg={}, call_edges={}, stats=WPAStats())
+        """Deprecated alias of :func:`empty_wpa_result` (kept for API
+        compatibility; the fallback now lives on the ``wpa`` stage)."""
+        return empty_wpa_result()
+
+    def run_stages(
+        self,
+        *,
+        incremental_state: Any = None,
+        stop_after: Optional[str] = None,
+        resume: Optional[ArtifactSet] = None,
+        order: Optional[Sequence[str]] = None,
+        observers: Sequence[ExecutionObserver] = (),
+    ) -> StageExecution:
+        """Execute the pipeline's :class:`~repro.core.stages.StageGraph`.
+
+        The engine underneath :meth:`run` and :meth:`reoptimize`,
+        exposed for partial execution: ``stop_after`` runs the graph
+        only through the named stage (``"wpa"``, ...), the returned
+        execution's :meth:`~repro.core.stages.StageExecution.save`
+        serializes its artifacts, and a later call with ``resume``
+        (an :class:`~repro.core.stages.ArtifactSet`) replays them and
+        runs only the remaining stages -- bit-identical to one full
+        run.  ``order`` overrides the execution order with any valid
+        topological order (artifacts are order-invariant; see
+        ``tests/test_stages.py``).
+        """
+        graph = pipeline_stage_graph(incremental=incremental_state is not None)
+        seeds: Dict[str, Any] = {}
+        if incremental_state is not None:
+            seeds["incr_state"] = incremental_state
+        # Digest of the program *as constructed* (pre-inlining), the
+        # identity a resumed process can recompute before any stage ran.
+        program_digest = self._program_digest()
+        if resume is not None:
+            expected = resume.meta.get("program")
+            if expected is not None and expected != program_digest:
+                raise StageGraphError(
+                    "resume-mismatch",
+                    "resumed artifact set was produced from a different "
+                    f"program (digest {expected[:12]}.. != "
+                    f"{program_digest[:12]}..)")
+            if "prepared_program" in resume.values:
+                # The inline stage already ran in the producing process;
+                # replay its program transform, not just its artifacts.
+                self.program = resume.values["prepared_program"]
+                self._digests.clear()
+        execution = graph.execute(
+            StageContext(self), seeds, stop_after=stop_after,
+            resume=resume, order=order, observers=observers)
+        execution.artifacts.meta.setdefault("program", program_digest)
+        execution.artifacts.meta.setdefault("program_name", self.program.name)
+        return execution
+
+    def result_from(self, execution: StageExecution) -> PipelineResult:
+        """Assemble the :class:`PipelineResult` of a complete execution."""
+        if not execution.complete:
+            missing = [s.name for s in execution.graph.stages
+                       if s.name not in execution.artifacts.records]
+            raise StageGraphError(
+                "missing-producer",
+                f"execution is partial (stages not run: {missing}); "
+                "resume it to completion before assembling a result",
+                stage=missing[0])
+        value = execution.value
+        degraded_reasons = execution.degraded_reasons()
+        result = PipelineResult(
+            program=self.program,
+            config=self.config,
+            baseline=value("baseline"),
+            metadata=value("metadata"),
+            optimized=value("optimized"),
+            ir_profile=value("ir_profile"),
+            perf=value("perf"),
+            wpa_result=value("wpa_result"),
+            phase_seconds=execution.phase_seconds(),
+            match_stats=value("match_stats"),
+            recovered_profile=value("recovered_profile"),
+            counters=self.counters,
+            degraded=bool(degraded_reasons),
+            degraded_reasons=degraded_reasons,
+        )
+        for observer in execution.observers:
+            observer.finalize(result, execution)
+        return result
 
     def run(self) -> PipelineResult:
         """Execute Phases 1-4 and return all artifacts.
 
+        One full pass of :data:`PIPELINE_STAGES` through the stage
+        driver (see :mod:`repro.core.stages`), which applies tracing,
+        fault degradation and phase accounting uniformly.
+
         Degradation contract (active only under a ``fault_plan``): an
         exhausted retry budget in profile collection, WPA or the Phase-4
         relink falls back -- empty instrumented profile, baseline
-        layout, baseline binary respectively -- and marks the result
-        ``degraded`` with an explicit reason.  The product builds
-        (baseline, metadata) have nothing to fall back to, so their
-        exhaustion propagates as :class:`~repro.faults.RetriesExhausted`.
+        layout, baseline binary respectively, per the stages' declared
+        ``fallback=`` -- and marks the result ``degraded`` with an
+        explicit reason.  The product builds (baseline, metadata) have
+        nothing to fall back to, so their exhaustion propagates as
+        :class:`~repro.faults.RetriesExhausted`.
         """
-        config = self.config
-        times: Dict[str, float] = {}
-        degraded_reasons: List[str] = []
-
-        # Baseline (PGO + ThinLTO equivalent): train, then build.  The
-        # baseline consumes the profile as trained -- stale and all --
-        # because it models the status-quo PGO deployment.
-        with self.tracer.span("phase:baseline", category="phase"):
-            try:
-                ir_profile = self.collect_pgo_profile()
-            except RetriesExhausted as exc:
-                # Instrumented training kept crashing: proceed un-PGO'd.
-                self._degrade("pgo-profile", exc, degraded_reasons)
-                ir_profile = IRProfile()
-                self._pgo_seconds = 0.0
-            times["pgo_profile_run"] = self._pgo_seconds
-            if config.inline_hot:
-                self.apply_inlining(ir_profile)
-            baseline = self.build(
-                tag="pgo",
-                codegen_options=self.baseline_options(ir_profile),
-                link_options=self.link_options("base.out", keep_bb_addr_map=False),
-            )
-        times["pgo_instrumented_build"] = baseline.wall_seconds * 0.9  # modelled
-        times["opt_build"] = baseline.wall_seconds
-
-        # Stale-profile matching: re-attach the drifted profile to the
-        # current CFGs.  The metadata build deliberately keeps the
-        # stale profile, so the profiled binary -- and with it the
-        # sampled trace, the WPA directives and every cold module's
-        # Phase-2 cache entry -- is bit-identical whether matching is
-        # on or off; the recovered counts are consumed by Phase 4,
-        # which extends cluster layout to the warm functions the
-        # hardware profile's hot set missed (see :meth:`relink`).
-        match_stats: Optional[MatchStats] = None
-        recovered: Optional[IRProfile] = None
-        if config.stale_matching != "off":
-            recovered, match_stats = self.match_stale_profile(ir_profile)
-
-        # Phase 1 & 2: build with BB address map metadata.
-        with self.tracer.span("phase:metadata-build", category="phase"):
-            metadata = self.build_metadata(ir_profile)
-        times["metadata_build"] = metadata.wall_seconds
-
-        # Phase 3: profile the metadata binary and run WPA.  Failed
-        # hardware-profile collection (or analysis) must never sink the
-        # release: fall back to no layout directives -- Phase 4 then
-        # degenerates to the stale-matching recovery's warm clusters
-        # when available, or to the baseline layout.
-        perf = PerfData(samples=[], period=config.lbr_period,
-                        binary_name="metadata.out")
-        wpa_result = self._empty_wpa_result()
-        lbr_seconds = wpa_seconds = 0.0
-        try:
-            with self.tracer.span("phase:profile", category="phase"):
-                perf, lbr_seconds, perf_key = self._collect_lbr(metadata.executable)
-        except RetriesExhausted as exc:
-            self._degrade("lbr-profile", exc, degraded_reasons)
-        else:
-            try:
-                with self.tracer.span("phase:wpa", category="phase"):
-                    wpa_result, wpa_seconds = self._analyze(
-                        metadata.executable, perf, perf_key)
-            except RetriesExhausted as exc:
-                self._degrade("wpa", exc, degraded_reasons)
-                wpa_result = self._empty_wpa_result()
-        times["lbr_profile_run"] = lbr_seconds
-        times["wpa_convert"] = wpa_seconds
-
-        # Phase 4: re-codegen hot modules with clusters, reuse cold
-        # objects.  If the relink itself exhausts, ship the baseline.
-        try:
-            with self.tracer.span("phase:relink", category="phase"):
-                optimized = self.relink(ir_profile, wpa_result,
-                                        hot_profile=recovered)
-        except RetriesExhausted as exc:
-            self._degrade("relink", exc, degraded_reasons)
-            optimized = baseline
-        times["prop_backends"] = optimized.backends.wall_seconds
-        times["prop_link"] = optimized.link_seconds
-
-        return PipelineResult(
-            program=self.program,
-            config=config,
-            baseline=baseline,
-            metadata=metadata,
-            optimized=optimized,
-            ir_profile=ir_profile,
-            perf=perf,
-            wpa_result=wpa_result,
-            phase_seconds=times,
-            match_stats=match_stats,
-            recovered_profile=recovered,
-            counters=self.counters,
-            degraded=bool(degraded_reasons),
-            degraded_reasons=tuple(degraded_reasons),
-        )
+        return self.result_from(self.run_stages())
 
     def reoptimize(self, state) -> PipelineResult:
         """Re-run the four phases against a prior release's state.
@@ -996,56 +1053,26 @@ class PropellerPipeline:
         replaying stale state.
 
         The dirty plan, hot-set flips and solve-reuse accounting land
-        on ``result.incremental``, the ``incr.*`` counters and the
-        report's ``incremental`` section.
+        on ``result.incremental`` (an :class:`IncrementalSummary`), the
+        ``incr.*`` counters and the report's ``incremental`` section.
+
+        On the stage graph this is :meth:`run`'s DAG with a prepended
+        ``plan-dirty`` stage (the dirty-set planner, whose profile
+        pre-collection falls back to an empty profile *silently* --
+        the pipeline's own profile stage will degrade honestly if
+        collection is truly doomed) and the post-run accounting as an
+        :class:`~repro.core.stages.ExecutionObserver` -- no duplicated
+        driver.
         """
         from repro import incr as incr_mod
 
         if isinstance(state, (str, Path)):
             state = incr_mod.IncrState.load(state)
         state.check(self.program.name, self.config)
-
-        # Plan the dirty set against the *new* profile epoch.  The
-        # pre-collection is itself a cached action, so :meth:`run`'s own
-        # collection replays it for free; if collection is doomed under
-        # a fault plan, plan against an empty profile and let run()
-        # degrade honestly.
-        try:
-            profile = self.collect_pgo_profile()
-        except RetriesExhausted:
-            profile = IRProfile()
-        plan = incr_mod.plan_dirty(state, self.program, profile)
-        self.counters.incr("incr.dirty_functions", len(plan.dirty))
-        self.counters.incr("incr.added_functions", len(plan.added))
-        self.counters.incr("incr.deleted_functions", len(plan.deleted))
-        self.counters.incr(
-            "incr.clean_functions",
-            max(0, self.program.num_functions - len(plan.dirty) - len(plan.added)),
-        )
-
-        result = self.run()
-
-        new_hot = set(result.wpa_result.hot_functions)
-        old_hot = {n for n, fs in state.functions.items() if fs.hot}
-        hot_flips = sorted(new_hot.symmetric_difference(old_hot))
-        self.counters.incr("incr.hot_flips", len(hot_flips))
-        cache = self.solve_cache
-        hits = cache.hits if cache is not None else 0
-        misses = cache.misses if cache is not None else 0
-        reuse = cache.reuse_rate if cache is not None else 1.0
-        self.counters.gauge("incr.solve_reuse", reuse)
-        result.incremental = {
-            "prior_digest": state.result_digest,
-            "dirty": sorted(plan.dirty),
-            "added": sorted(plan.added),
-            "deleted": sorted(plan.deleted),
-            "reasons": {name: reason for name, reason in plan.reasons.items()},
-            "hot_flips": hot_flips,
-            "solve_hits": hits,
-            "solve_misses": misses,
-            "solve_reuse": reuse,
-        }
-        return result
+        execution = self.run_stages(
+            incremental_state=state,
+            observers=(IncrementalAccounting(self, state),))
+        return self.result_from(execution)
 
     def warm_clusters(
         self,
@@ -1178,6 +1205,323 @@ class PropellerPipeline:
             link_options=self.link_options(
                 "bolt-metadata.out", keep_bb_addr_map=False, emit_relocs=True
             ),
+        )
+
+
+# ----------------------------------------------------------------------
+# The pipeline as a stage graph (see :mod:`repro.core.stages`)
+#
+# Each stage body is a thin adapter from (StageContext, inputs) onto the
+# pipeline's public phase methods above; all cross-cutting behaviour --
+# the ``phase:*`` spans, degradation on RetriesExhausted, per-stage
+# ``phase_seconds`` accounting -- is applied by the stage driver from
+# the declarations below, not hand-woven into the bodies.
+
+ART_IR_PROFILE = Artifact[IRProfile]("ir_profile")
+ART_PREPARED = Artifact[ir.Program]("prepared_program")
+ART_BASELINE = Artifact[BuildOutcome]("baseline")
+#: ``Optional[IRProfile]`` / ``Optional[MatchStats]`` -- ``object``
+#: (the type escape hatch) because ``None`` is a legal value.
+ART_RECOVERED = Artifact("recovered_profile")
+ART_MATCH_STATS = Artifact("match_stats")
+ART_METADATA = Artifact[BuildOutcome]("metadata")
+ART_PERF = Artifact[PerfData]("perf")
+ART_PERF_KEY = Artifact[str]("perf_key")
+ART_WPA = Artifact[WPAResult]("wpa_result")
+ART_OPTIMIZED = Artifact[BuildOutcome]("optimized")
+#: Seed for the incremental graph: the prior release's ``IncrState``.
+ART_INCR_STATE = Artifact("incr_state")
+#: ``repro.incr.DirtyPlan`` (``object``: :mod:`repro.incr` imports this
+#: module, so the type cannot be named here).
+ART_DIRTY_PLAN = Artifact("dirty_plan")
+
+
+def _stage_pgo_profile(ctx: StageContext, inputs) -> Dict[str, Any]:
+    profile = ctx.pipeline.collect_pgo_profile()
+    ctx.time("pgo_profile_run", ctx.pipeline._pgo_seconds)
+    return {"ir_profile": profile}
+
+
+def _pgo_profile_fallback(ctx: StageContext, inputs) -> Dict[str, Any]:
+    # Instrumented training kept crashing: proceed un-PGO'd.
+    ctx.pipeline._pgo_seconds = 0.0
+    ctx.time("pgo_profile_run", 0.0)
+    return {"ir_profile": IRProfile()}
+
+
+def _stage_inline(ctx: StageContext, inputs) -> Dict[str, Any]:
+    pipeline = ctx.pipeline
+    if pipeline.config.inline_hot:
+        pipeline.apply_inlining(inputs["ir_profile"])
+    return {"prepared_program": pipeline.program}
+
+
+def _stage_baseline_build(ctx: StageContext, inputs) -> Dict[str, Any]:
+    pipeline = ctx.pipeline
+    baseline = pipeline.build(
+        tag="pgo",
+        codegen_options=pipeline.baseline_options(inputs["ir_profile"]),
+        link_options=pipeline.link_options("base.out", keep_bb_addr_map=False),
+    )
+    ctx.time("pgo_instrumented_build",
+             baseline.wall_seconds * INSTRUMENTED_BUILD_FACTOR)
+    ctx.time("opt_build", baseline.wall_seconds)
+    return {"baseline": baseline}
+
+
+def _stage_stale_match(ctx: StageContext, inputs) -> Dict[str, Any]:
+    pipeline = ctx.pipeline
+    if pipeline.config.stale_matching == "off":
+        return {"recovered_profile": None, "match_stats": None}
+    recovered, stats = pipeline.match_stale_profile(inputs["ir_profile"])
+    return {"recovered_profile": recovered, "match_stats": stats}
+
+
+def _stage_metadata_build(ctx: StageContext, inputs) -> Dict[str, Any]:
+    metadata = ctx.pipeline.build_metadata(inputs["ir_profile"])
+    ctx.time("metadata_build", metadata.wall_seconds)
+    return {"metadata": metadata}
+
+
+def _stage_lbr_profile(ctx: StageContext, inputs) -> Dict[str, Any]:
+    perf, seconds, key = ctx.pipeline._collect_lbr(
+        inputs["metadata"].executable)
+    ctx.time("lbr_profile_run", seconds)
+    return {"perf": perf, "perf_key": key}
+
+
+def _lbr_profile_fallback(ctx: StageContext, inputs) -> Dict[str, Any]:
+    ctx.time("lbr_profile_run", 0.0)
+    return {
+        "perf": PerfData(samples=[], period=ctx.config.lbr_period,
+                         binary_name="metadata.out"),
+        "perf_key": "",
+    }
+
+
+def _stage_wpa(ctx: StageContext, inputs) -> Dict[str, Any]:
+    wpa_result, seconds = ctx.pipeline._analyze(
+        inputs["metadata"].executable, inputs["perf"], inputs["perf_key"])
+    ctx.time("wpa_convert", seconds)
+    return {"wpa_result": wpa_result}
+
+
+def _wpa_fallback(ctx: StageContext, inputs) -> Dict[str, Any]:
+    ctx.time("wpa_convert", 0.0)
+    return {"wpa_result": empty_wpa_result()}
+
+
+def _stage_relink(ctx: StageContext, inputs) -> Dict[str, Any]:
+    optimized = ctx.pipeline.relink(
+        inputs["ir_profile"], inputs["wpa_result"],
+        hot_profile=inputs["recovered_profile"])
+    ctx.time("prop_backends", optimized.backends.wall_seconds)
+    ctx.time("prop_link", optimized.link_seconds)
+    return {"optimized": optimized}
+
+
+def _relink_fallback(ctx: StageContext, inputs) -> Dict[str, Any]:
+    # The relink itself exhausted its budget: ship the baseline.
+    baseline = inputs["baseline"]
+    ctx.time("prop_backends", baseline.backends.wall_seconds)
+    ctx.time("prop_link", baseline.link_seconds)
+    return {"optimized": baseline}
+
+
+def _plan_against(ctx: StageContext, state: Any, profile: IRProfile):
+    from repro import incr as incr_mod
+
+    plan = incr_mod.plan_dirty(state, ctx.pipeline.program, profile)
+    ctx.counters.incr("incr.dirty_functions", len(plan.dirty))
+    ctx.counters.incr("incr.added_functions", len(plan.added))
+    ctx.counters.incr("incr.deleted_functions", len(plan.deleted))
+    ctx.counters.incr(
+        "incr.clean_functions",
+        max(0, ctx.pipeline.program.num_functions
+            - len(plan.dirty) - len(plan.added)),
+    )
+    return {"dirty_plan": plan}
+
+
+def _stage_plan_dirty(ctx: StageContext, inputs) -> Dict[str, Any]:
+    # Plan the dirty set against the *new* profile epoch.  The
+    # pre-collection is itself a cached action, so the pgo-profile
+    # stage replays it for free.
+    return _plan_against(ctx, inputs["incr_state"],
+                         ctx.pipeline.collect_pgo_profile())
+
+
+def _plan_dirty_fallback(ctx: StageContext, inputs) -> Dict[str, Any]:
+    # Collection is doomed under the fault plan: plan against an empty
+    # profile.  Silent (degrades=False) -- the pgo-profile stage will
+    # degrade the run honestly, once, with the right reason.
+    return _plan_against(ctx, inputs["incr_state"], IRProfile())
+
+
+#: The Propeller DAG, in canonical (registration) order.  Stage names
+#: double as degradation reasons (``degraded_reasons`` entries and
+#: ``degraded:*`` span names), so they are part of the pinned
+#: observability surface -- do not rename casually.
+PIPELINE_STAGES: Tuple[Stage, ...] = (
+    Stage(
+        name="pgo-profile",
+        run=_stage_pgo_profile,
+        outputs=(ART_IR_PROFILE,),
+        phase="baseline",
+        fallback=Fallback(_pgo_profile_fallback,
+                          doc="empty instrumented profile (un-PGO'd run)"),
+        time_keys=("pgo_profile_run",),
+        doc="Instrumented PGO training run (cached action).",
+    ),
+    Stage(
+        name="inline",
+        run=_stage_inline,
+        inputs=(ART_IR_PROFILE,),
+        outputs=(ART_PREPARED,),
+        phase="baseline",
+        doc="Profile-guided inlining (when configured); fixes the "
+            "program every build stage codegens.",
+    ),
+    Stage(
+        name="baseline-build",
+        run=_stage_baseline_build,
+        inputs=(ART_IR_PROFILE, ART_PREPARED),
+        outputs=(ART_BASELINE,),
+        phase="baseline",
+        time_keys=("pgo_instrumented_build", "opt_build"),
+        doc="The PGO baseline build (status-quo deployment; consumes "
+            "the profile as trained, stale and all).",
+    ),
+    Stage(
+        name="stale-match",
+        run=_stage_stale_match,
+        inputs=(ART_IR_PROFILE, ART_PREPARED),
+        outputs=(ART_RECOVERED, ART_MATCH_STATS),
+        doc="Stale-profile matching: re-attach the drifted profile to "
+            "the current CFGs (no-op when mode is 'off').",
+    ),
+    Stage(
+        name="metadata-build",
+        run=_stage_metadata_build,
+        inputs=(ART_IR_PROFILE, ART_PREPARED),
+        outputs=(ART_METADATA,),
+        phase="metadata-build",
+        time_keys=("metadata_build",),
+        doc="Phases 1-2: the BB-address-map metadata build.",
+    ),
+    Stage(
+        name="lbr-profile",
+        run=_stage_lbr_profile,
+        inputs=(ART_METADATA,),
+        outputs=(ART_PERF, ART_PERF_KEY),
+        phase="profile",
+        fallback=Fallback(_lbr_profile_fallback,
+                          doc="empty perf data (no hardware profile)"),
+        time_keys=("lbr_profile_run",),
+        doc="Phase 3 sampling: run the metadata binary, sample LBR.",
+    ),
+    Stage(
+        name="wpa",
+        run=_stage_wpa,
+        inputs=(ART_METADATA, ART_PERF, ART_PERF_KEY),
+        outputs=(ART_WPA,),
+        phase="wpa",
+        fallback=Fallback(_wpa_fallback,
+                          doc="no layout directives (baseline layout)"),
+        # No hardware profile was collected: nothing to analyze.  The
+        # skip is silent -- the run is already degraded by lbr-profile.
+        skip_if_degraded=("lbr-profile",),
+        time_keys=("wpa_convert",),
+        doc="Phase 3 analysis: whole-program analysis into "
+            "cc_prof/ld_prof layout directives.",
+    ),
+    Stage(
+        name="relink",
+        run=_stage_relink,
+        inputs=(ART_IR_PROFILE, ART_PREPARED, ART_WPA, ART_RECOVERED,
+                ART_BASELINE),
+        outputs=(ART_OPTIMIZED,),
+        phase="relink",
+        fallback=Fallback(_relink_fallback,
+                          doc="ship the baseline binary"),
+        time_keys=("prop_backends", "prop_link"),
+        doc="Phase 4: re-codegen hot modules with clusters, reuse cold "
+            "objects from cache, relink with the global symbol order.",
+    ),
+)
+
+#: The extra stage :meth:`PropellerPipeline.reoptimize` prepends.
+PLAN_DIRTY_STAGE = Stage(
+    name="plan-dirty",
+    run=_stage_plan_dirty,
+    inputs=(ART_INCR_STATE,),
+    outputs=(ART_DIRTY_PLAN,),
+    fallback=Fallback(_plan_dirty_fallback, degrades=False,
+                      doc="plan against an empty profile"),
+    doc="Incremental dirty-set planning against the prior release's "
+        "state snapshot (observability only; correctness rests on the "
+        "content-keyed solve cache).",
+)
+
+_GRAPH_CACHE: Dict[bool, StageGraph] = {}
+
+
+def pipeline_stage_graph(incremental: bool = False) -> StageGraph:
+    """The validated Propeller :class:`~repro.core.stages.StageGraph`.
+
+    One definition serves both entry points: ``incremental=True`` is
+    the same DAG with :data:`PLAN_DIRTY_STAGE` prepended and the prior
+    release's state as a seed artifact.  Stages are stateless (all
+    run state lives on the :class:`~repro.core.stages.StageContext`'s
+    pipeline), so the graphs are built once and shared.
+    """
+    graph = _GRAPH_CACHE.get(incremental)
+    if graph is None:
+        if incremental:
+            graph = StageGraph((PLAN_DIRTY_STAGE,) + PIPELINE_STAGES,
+                               seeds=(ART_INCR_STATE,))
+        else:
+            graph = StageGraph(PIPELINE_STAGES)
+        _GRAPH_CACHE[incremental] = graph
+    return graph
+
+
+class IncrementalAccounting(ExecutionObserver):
+    """Post-run incremental accounting as a driver observer.
+
+    Folds the executed ``plan-dirty`` plan, the WPA hot-set churn and
+    the solve-cache tallies into the ``incr.*`` counters and the
+    result's :class:`IncrementalSummary` -- the half of
+    ``reoptimize()`` that needs the whole run, kept out of the driver.
+    """
+
+    def __init__(self, pipeline: "PropellerPipeline", state: Any):
+        self.pipeline = pipeline
+        self.state = state
+
+    def finalize(self, result: PipelineResult,
+                 execution: StageExecution) -> None:
+        plan = execution.value("dirty_plan")
+        counters = self.pipeline.counters
+        new_hot = set(result.wpa_result.hot_functions)
+        old_hot = {n for n, fs in self.state.functions.items() if fs.hot}
+        hot_flips = sorted(new_hot.symmetric_difference(old_hot))
+        counters.incr("incr.hot_flips", len(hot_flips))
+        cache = self.pipeline.solve_cache
+        hits = cache.hits if cache is not None else 0
+        misses = cache.misses if cache is not None else 0
+        reuse = cache.reuse_rate if cache is not None else 1.0
+        counters.gauge("incr.solve_reuse", reuse)
+        result.incremental = IncrementalSummary(
+            prior_digest=self.state.result_digest,
+            dirty=tuple(sorted(plan.dirty)),
+            added=tuple(sorted(plan.added)),
+            deleted=tuple(sorted(plan.deleted)),
+            reasons={name: reason for name, reason in plan.reasons.items()},
+            hot_flips=tuple(hot_flips),
+            solve_hits=hits,
+            solve_misses=misses,
+            solve_reuse=reuse,
         )
 
 

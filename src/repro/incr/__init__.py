@@ -25,7 +25,12 @@ content -- never by the dirty plan, timestamps, or anything advisory.
 from dataclasses import replace
 from typing import Optional
 
-from repro.core.pipeline import PipelineConfig, PipelineResult, PropellerPipeline
+from repro.core.pipeline import (
+    IncrementalSummary,
+    PipelineConfig,
+    PipelineResult,
+    PropellerPipeline,
+)
 from repro.incr.planner import DirtyPlan, plan_dirty
 from repro.incr.state import (
     INCR_STATE_VERSION,
@@ -42,6 +47,7 @@ __all__ = [
     "INCR_STATE_VERSION",
     "IncrState",
     "IncrStateError",
+    "IncrementalSummary",
     "config_signature",
     "plan_dirty",
     "reoptimize",

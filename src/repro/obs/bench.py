@@ -809,11 +809,11 @@ def _incr_scenario() -> Scenario:
                 int(replay.digest() == prior.digest()),
                 gate="exact", direction="higher"))
             metrics.append(Metric(
-                "replay.dirty_functions", len(inc["dirty"]),
+                "replay.dirty_functions", len(inc.dirty),
                 gate="exact", direction="lower"))
             metrics.append(Metric(
                 "replay.solve_lookups",
-                inc["solve_hits"] + inc["solve_misses"],
+                inc.solve_hits + inc.solve_misses,
                 gate="exact", direction="lower"))
 
             edits = (
@@ -840,14 +840,14 @@ def _incr_scenario() -> Scenario:
                 if label == "body":
                     inc = incr.incremental
                     metrics.append(Metric(
-                        "body.dirty_functions", len(inc["dirty"]),
+                        "body.dirty_functions", len(inc.dirty),
                         gate="exact", direction="lower"))
                     metrics.append(Metric(
-                        "body.solve_reuse", inc["solve_reuse"],
+                        "body.solve_reuse", inc.solve_reuse,
                         gate="exact", direction="higher"))
                     metrics.append(Metric(
                         "body.solve_reuse_ok",
-                        int(inc["solve_reuse"] >= MIN_REUSE),
+                        int(inc.solve_reuse >= MIN_REUSE),
                         gate="exact", direction="higher"))
                     metrics.append(Metric(
                         "body.speedup_ok", int(speedup >= MIN_SPEEDUP),

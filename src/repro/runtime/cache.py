@@ -62,6 +62,57 @@ def resolve_cache_dir(explicit: "Optional[str | os.PathLike]" = None) -> Optiona
     return Path(env) if env else None
 
 
+def write_envelope(path: "str | os.PathLike", value: Any) -> None:
+    """Atomically pickle ``value`` to ``path`` in the self-verifying
+    envelope format (magic + SHA-256 header) the store uses.
+
+    The standalone form of :meth:`PersistentActionStore.store` for
+    callers that manage their own paths -- the serialized stage-graph
+    artifact sets (:mod:`repro.core.stages`) persist through it so a
+    resumed run gets the same tamper/truncation detection as the cache.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".env")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(digest)
+            handle.write(b"\n")
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_envelope(path: "str | os.PathLike") -> Any:
+    """Unpickle an envelope written by :func:`write_envelope`.
+
+    Unlike the store's forgiving :meth:`~PersistentActionStore.load`
+    (where a bad entry is just a cache miss), a bad envelope here is an
+    error: raises ``ValueError`` on format/digest mismatch, ``OSError``
+    when unreadable -- resume-from-artifacts must fail loudly rather
+    than silently recompute against mismatched inputs.
+    """
+    data = Path(path).read_bytes()
+    if not data.startswith(_MAGIC):
+        raise ValueError(f"{path}: not a repro envelope")
+    header_end = len(_MAGIC) + _DIGEST_HEX_LEN
+    if len(data) < header_end + 1 or data[header_end:header_end + 1] != b"\n":
+        raise ValueError(f"{path}: truncated envelope header")
+    expected = data[len(_MAGIC):header_end]
+    payload = data[header_end + 1:]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != expected:
+        raise ValueError(f"{path}: envelope digest mismatch")
+    return pickle.loads(payload)
+
+
 class FunctionSolveCache:
     """Memoized per-function layout solves, keyed by content signature.
 

@@ -13,6 +13,10 @@ Commands mirror the paper's tool flow:
 * ``bench``     -- the continuous benchmark harness (also installed as
   the ``repro-bench`` console script): run a scenario suite, write a
   ``BENCH_<n>.json`` scorecard, and optionally gate against a baseline;
+* ``stages``    -- introspect the pipeline's stage graph (also installed
+  as the ``repro-stages`` console script): the validated DAG as JSON
+  (schema-versioned, gated in CI against ``tests/golden/stage_graph.json``),
+  Graphviz DOT, or a human-readable table;
 * ``explain``   -- the run-to-run attribution engine (also installed as
   the ``repro-explain`` console script): diff two runs' metrics/trace/
   state artifacts and say which functions, layout decisions and phases
@@ -202,6 +206,8 @@ def cmd_optimize(args) -> int:
     program = load_program(args.program)
     config = _config(args)
     pipe = PropellerPipeline(program, config)
+    if args.stop_after or args.resume_from:
+        return _optimize_partial(args, pipe)
     if config.incremental:
         from repro.incr import IncrState, state_path
 
@@ -232,6 +238,96 @@ def cmd_optimize(args) -> int:
     if args.report:
         Path(args.report).write_text(result.summary() + "\n")
     _export_observability(args, pipe, result)
+    return 0
+
+
+def _optimize_partial(args, pipe: PropellerPipeline) -> int:
+    """``optimize --stop-after`` / ``--resume-from``: partial execution.
+
+    ``--stop-after STAGE`` runs the graph through STAGE and serializes
+    the produced artifact set to ``--artifacts-out`` (required with
+    it).  ``--resume-from DIR`` loads such a set and runs only the
+    remaining stages; a completed resume prints the normal summary --
+    bit-identical to one uninterrupted run.  Both compose: a resumed
+    run may itself stop after a later stage.
+    """
+    from repro.core.stages import ArtifactSet, StageGraphError
+
+    if pipe.config.incremental:
+        log.error("--stop-after/--resume-from do not compose with "
+                  "--incremental (reoptimize needs the whole run)")
+        return 2
+    if args.stop_after and not args.artifacts_out:
+        log.error("--stop-after requires --artifacts-out DIR")
+        return 2
+    resume = None
+    if args.resume_from:
+        try:
+            resume = ArtifactSet.load(args.resume_from)
+        except StageGraphError as exc:
+            log.error("cannot resume from %s: %s", args.resume_from, exc)
+            return 2
+    try:
+        execution = pipe.run_stages(stop_after=args.stop_after or None,
+                                    resume=resume)
+    except StageGraphError as exc:
+        log.error("%s", exc)
+        return 2
+    if args.stop_after:
+        out = execution.save(args.artifacts_out)
+        produced = sorted(execution.artifacts.values)
+        log.info("stopped after %r; %d artifact(s) saved to %s",
+                 args.stop_after, len(produced), out)
+        for name in produced:
+            print(name)
+        return 0
+    result = pipe.result_from(execution)
+    print(result.summary())
+    if args.report:
+        Path(args.report).write_text(result.summary() + "\n")
+    _export_observability(args, pipe, result)
+    return 0
+
+
+def cmd_stages(args) -> int:
+    """Describe the pipeline stage graph (JSON, DOT, or a table).
+
+    ``--incremental`` shows the reoptimize graph (the same DAG with the
+    ``plan-dirty`` stage prepended).  Exit code 0 -- the graph is
+    validated at import, so an invalid wiring fails long before here.
+    """
+    import json as _json
+
+    from repro.core.pipeline import pipeline_stage_graph
+
+    graph = pipeline_stage_graph(incremental=args.incremental)
+    if args.format == "json":
+        text = _json.dumps(graph.describe(), indent=2, sort_keys=True) + "\n"
+    elif args.format == "dot":
+        text = graph.to_dot()
+    else:
+        table = Table(["stage", "phase", "consumes", "produces", "on exhaustion"])
+        described = graph.describe()
+        for stage in described["stages"]:
+            if stage["fallback"] and stage["degrades"]:
+                policy = "degrade"
+            elif stage["fallback"]:
+                policy = "silent fallback"
+            else:
+                policy = "propagate"
+            table.add_row(
+                stage["name"],
+                stage["phase"] or "-",
+                ", ".join(a["name"] for a in stage["inputs"]) or "-",
+                ", ".join(a["name"] for a in stage["outputs"]) or "-",
+                policy,
+            )
+        text = str(table) + "\n" + "order: " + " -> ".join(described["order"]) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        log.info("wrote %s render to %s", args.format, args.output)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -475,10 +571,35 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="run all four phases")
     p.add_argument("program")
     p.add_argument("--report")
+    p.add_argument("--stop-after", metavar="STAGE", default=None,
+                   help="run the stage graph only through STAGE (e.g. "
+                        "'wpa'; see `stages` for names) and save the "
+                        "artifact set to --artifacts-out")
+    p.add_argument("--artifacts-out", metavar="DIR", default=None,
+                   help="directory for the serialized artifact set "
+                        "(required with --stop-after)")
+    p.add_argument("--resume-from", metavar="DIR", default=None,
+                   help="resume from an artifact set saved by "
+                        "--stop-after: replay its stages, run the rest")
     _add_pipeline_args(p)
     _add_observability_args(p)
     _add_verbosity_args(p)
     p.set_defaults(fn=cmd_optimize)
+
+    p = sub.add_parser(
+        "stages",
+        help="describe the pipeline stage graph "
+             "(also the repro-stages entry point)")
+    p.add_argument("--format", choices=("json", "dot", "text"),
+                   default="text",
+                   help="JSON (schema-versioned describe()), Graphviz "
+                        "DOT, or a human-readable table (default)")
+    p.add_argument("--incremental", action="store_true",
+                   help="show the reoptimize graph (plan-dirty prepended)")
+    p.add_argument("-o", "--output", metavar="FILE", default=None,
+                   help="write to FILE instead of stdout")
+    _add_verbosity_args(p)
+    p.set_defaults(fn=cmd_stages)
 
     p = sub.add_parser("compare", help="Propeller vs BOLT")
     p.add_argument("program")
@@ -585,6 +706,13 @@ def explain_main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     return main(["explain", *argv])
+
+
+def stages_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-stages`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["stages", *argv])
 
 
 if __name__ == "__main__":

@@ -279,13 +279,14 @@ class TestReoptimize:
         assert incr.digest() == full.digest()
 
         inc = incr.incremental
-        assert inc["dirty"] == [script.edits[0].function]
-        assert inc["solve_reuse"] >= 0.90
-        assert inc["solve_hits"] + inc["solve_misses"] > 0
-        assert inc["prior_digest"] == prior.digest()
+        assert inc.dirty == (script.edits[0].function,)
+        assert inc.solve_reuse >= 0.90
+        assert inc.solve_hits + inc.solve_misses > 0
+        assert inc.prior_digest == prior.digest()
         # accounting rides the report, additively
         report = incr.report()
-        assert report.incremental["solve_reuse"] == inc["solve_reuse"]
+        assert report.incremental["solve_reuse"] == inc.solve_reuse
+        assert report.incremental == inc.as_dict()
         roundtrip = type(report).from_json(report.to_json())
         assert roundtrip.incremental == dict(report.incremental)
 
@@ -304,7 +305,7 @@ class TestReoptimize:
                     state_path(state_dir)))
         one, two = results
         assert one.digest() == two.digest()
-        assert one.incremental["dirty"] == two.incremental["dirty"]
+        assert one.incremental.dirty == two.incremental.dirty
         # the second run replays the first's freshly stored solve, so
         # compare only the jobs-invariant plan, not hit counts
 
@@ -359,7 +360,7 @@ class TestEmptyScriptIsPureReplay:
         unchanged = EditScript().apply(program)
         result = PropellerPipeline(unchanged, config).reoptimize(path)
         inc = result.incremental
-        assert inc["dirty"] == [] and inc["added"] == [] and inc["deleted"] == []
-        assert inc["solve_hits"] + inc["solve_misses"] == 0
-        assert inc["solve_reuse"] == 1.0
+        assert inc.dirty == () and inc.added == () and inc.deleted == ()
+        assert inc.solve_hits + inc.solve_misses == 0
+        assert inc.solve_reuse == 1.0
         assert result.digest() == prior.digest()

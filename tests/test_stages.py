@@ -1,0 +1,484 @@
+"""Tests for the typed stage-graph engine (:mod:`repro.core.stages`).
+
+Three layers:
+
+* the engine itself, on toy graphs: structured validation errors
+  (cycle, missing producer, duplicate producer, type mismatch),
+  deterministic topological order, uniform degradation
+  (fallback/skip_if_degraded) and phase-span grouping;
+* serialization: the artifact-set save/load round trip and its
+  fail-loudly corruption contract;
+* the Propeller graph: the committed golden topology
+  (``tests/golden/stage_graph.json``), partial execution + resume
+  bit-identity, the hypothesis property that *any* valid topological
+  execution order produces the same ``PipelineResult.digest()``, and
+  the pinned instrumented-build ratio.
+
+Golden regeneration: ``REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m
+pytest tests/test_stages.py`` (same contract as tests/test_golden.py).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import (
+    INSTRUMENTED_BUILD_FACTOR,
+    PipelineConfig,
+    PropellerPipeline,
+    pipeline_stage_graph,
+)
+from repro.core.stages import (
+    Artifact,
+    ArtifactSet,
+    Fallback,
+    Stage,
+    StageContext,
+    StageGraph,
+    StageGraphError,
+)
+from repro.faults import RetriesExhausted
+from repro.obs import Counters, Tracer
+from repro.synth import PRESETS, generate_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+# ----------------------------------------------------------------------
+# Toy-graph helpers
+
+
+def _ctx() -> StageContext:
+    """A StageContext over a stub pipeline (tracer + counters only)."""
+    return StageContext(SimpleNamespace(
+        config=None, tracer=Tracer(), counters=Counters(),
+        buildsys=None, solve_cache=None))
+
+
+def _stage(name, run, **kwargs) -> Stage:
+    return Stage(name=name, run=run, **kwargs)
+
+
+def _produce(**values):
+    def run(ctx, inputs):
+        return dict(values)
+    return run
+
+
+A_INT = Artifact[int]("number")
+A_STR = Artifact[str]("text")
+
+
+# ----------------------------------------------------------------------
+# Validation
+
+
+class TestValidation:
+    def test_missing_producer(self):
+        with pytest.raises(StageGraphError) as err:
+            StageGraph([_stage("a", _produce(), inputs=(A_INT,))])
+        assert err.value.kind == "missing-producer"
+        assert err.value.artifact == "number"
+        assert err.value.stage == "a"
+
+    def test_cycle(self):
+        a = Artifact("a")
+        b = Artifact("b")
+        with pytest.raises(StageGraphError) as err:
+            StageGraph([
+                _stage("one", _produce(a=1), inputs=(b,), outputs=(a,)),
+                _stage("two", _produce(b=2), inputs=(a,), outputs=(b,)),
+            ])
+        assert err.value.kind == "cycle"
+        assert "one" in str(err.value) and "two" in str(err.value)
+
+    def test_duplicate_producer(self):
+        with pytest.raises(StageGraphError) as err:
+            StageGraph([
+                _stage("one", _produce(number=1), outputs=(A_INT,)),
+                _stage("two", _produce(number=2), outputs=(A_INT,)),
+            ])
+        assert err.value.kind == "duplicate-producer"
+        assert err.value.artifact == "number"
+
+    def test_duplicate_stage_name(self):
+        with pytest.raises(StageGraphError) as err:
+            StageGraph([
+                _stage("one", _produce(number=1), outputs=(A_INT,)),
+                _stage("one", _produce(text="x"), outputs=(A_STR,)),
+            ])
+        assert err.value.kind == "duplicate-producer"
+
+    def test_type_mismatch_between_declarations(self):
+        as_str = Artifact[str]("number")
+        with pytest.raises(StageGraphError) as err:
+            StageGraph([
+                _stage("one", _produce(number=1), outputs=(A_INT,)),
+                _stage("two", _produce(), inputs=(as_str,)),
+            ])
+        assert err.value.kind == "type-mismatch"
+        assert err.value.artifact == "number"
+
+    def test_runtime_type_mismatch(self):
+        graph = StageGraph([
+            _stage("one", _produce(number="not an int"), outputs=(A_INT,)),
+        ])
+        with pytest.raises(StageGraphError) as err:
+            graph.execute(_ctx(), {})
+        assert err.value.kind == "type-mismatch"
+
+    def test_undeclared_output_rejected(self):
+        graph = StageGraph([
+            _stage("one", _produce(number=1, extra=2), outputs=(A_INT,)),
+        ])
+        with pytest.raises(StageGraphError) as err:
+            graph.execute(_ctx(), {})
+        assert err.value.kind == "bad-output"
+
+    def test_skip_on_unknown_stage(self):
+        with pytest.raises(StageGraphError) as err:
+            StageGraph([
+                _stage("one", _produce(number=1), outputs=(A_INT,),
+                       fallback=Fallback(_produce(number=0)),
+                       skip_if_degraded=("ghost",)),
+            ])
+        assert err.value.kind == "unknown-stage"
+
+    def test_skip_on_stage_that_cannot_degrade(self):
+        with pytest.raises(StageGraphError) as err:
+            StageGraph([
+                _stage("one", _produce(number=1), outputs=(A_INT,)),
+                _stage("two", _produce(text="x"), inputs=(A_INT,),
+                       outputs=(A_STR,),
+                       fallback=Fallback(_produce(text="")),
+                       skip_if_degraded=("one",)),
+            ])
+        assert err.value.kind == "unknown-stage"
+
+    def test_unknown_stop_after(self):
+        graph = StageGraph([_stage("one", _produce(number=1),
+                                   outputs=(A_INT,))])
+        with pytest.raises(StageGraphError) as err:
+            graph.execute(_ctx(), {}, stop_after="ghost")
+        assert err.value.kind == "unknown-stage"
+
+    def test_missing_seed_value(self):
+        seed = Artifact[int]("seeded")
+        graph = StageGraph(
+            [_stage("one", _produce(number=1), inputs=(seed,),
+                    outputs=(A_INT,))],
+            seeds=(seed,))
+        with pytest.raises(StageGraphError) as err:
+            graph.execute(_ctx(), {})
+        assert err.value.kind == "missing-producer"
+        assert err.value.artifact == "seeded"
+
+    def test_invalid_execution_order(self):
+        graph = StageGraph([
+            _stage("one", _produce(number=1), outputs=(A_INT,)),
+            _stage("two", _produce(text="x"), inputs=(A_INT,),
+                   outputs=(A_STR,)),
+        ])
+        with pytest.raises(StageGraphError) as err:
+            graph.execute(_ctx(), {}, order=["two", "one"])
+        assert err.value.kind == "invalid-order"
+        with pytest.raises(StageGraphError) as err:
+            graph.execute(_ctx(), {}, order=["one"])
+        assert err.value.kind == "invalid-order"
+
+
+# ----------------------------------------------------------------------
+# Topological order
+
+
+class TestTopoOrder:
+    def test_registration_order_breaks_ties(self):
+        a, b, c = Artifact("a"), Artifact("b"), Artifact("c")
+        graph = StageGraph([
+            _stage("root", _produce(a=1), outputs=(a,)),
+            _stage("left", _produce(b=1), inputs=(a,), outputs=(b,)),
+            _stage("right", _produce(c=1), inputs=(a,), outputs=(c,)),
+        ])
+        assert graph.order == ("root", "left", "right")
+        flipped = StageGraph([
+            _stage("root", _produce(a=1), outputs=(a,)),
+            _stage("right", _produce(c=1), inputs=(a,), outputs=(c,)),
+            _stage("left", _produce(b=1), inputs=(a,), outputs=(b,)),
+        ])
+        assert flipped.order == ("root", "right", "left")
+
+    def test_dependencies_override_registration(self):
+        a, b = Artifact("a"), Artifact("b")
+        graph = StageGraph([
+            _stage("consumer", _produce(b=1), inputs=(a,), outputs=(b,)),
+            _stage("producer", _produce(a=1), outputs=(a,)),
+        ])
+        assert graph.order == ("producer", "consumer")
+
+
+# ----------------------------------------------------------------------
+# Execution: degradation, skipping, spans
+
+
+class TestExecution:
+    def _boom(self, ctx, inputs):
+        raise RetriesExhausted("unit", "key", 3, ("crash", "crash", "crash"))
+
+    def test_fallback_degrades_with_span_and_counter(self):
+        graph = StageGraph([
+            _stage("flaky", self._boom, outputs=(A_INT,), phase="p",
+                   fallback=Fallback(_produce(number=0))),
+        ])
+        ctx = _ctx()
+        execution = graph.execute(ctx, {})
+        assert execution.value("number") == 0
+        assert execution.degraded_reasons() == ("flaky",)
+        assert execution.artifacts.records["flaky"].status == "fallback"
+        assert ctx.counters.count("faults.degraded") == 1
+        names = [s.name for s in ctx.tracer.spans]
+        assert "degraded:flaky" in names
+        assert "phase:p" in names
+
+    def test_silent_fallback_does_not_degrade(self):
+        graph = StageGraph([
+            _stage("flaky", self._boom, outputs=(A_INT,),
+                   fallback=Fallback(_produce(number=0), degrades=False)),
+        ])
+        ctx = _ctx()
+        execution = graph.execute(ctx, {})
+        assert execution.value("number") == 0
+        assert execution.degraded_reasons() == ()
+        assert ctx.counters.count("faults.degraded") == 0
+        assert not [s for s in ctx.tracer.spans
+                    if s.name.startswith("degraded:")]
+
+    def test_no_fallback_propagates(self):
+        graph = StageGraph([
+            _stage("hard", self._boom, outputs=(A_INT,), phase="p"),
+        ])
+        ctx = _ctx()
+        with pytest.raises(RetriesExhausted):
+            graph.execute(ctx, {})
+        # The phase span is still closed and recorded on the way out.
+        assert [s.name for s in ctx.tracer.spans] == ["phase:p"]
+
+    def test_skip_if_degraded_is_silent_and_spanless(self):
+        graph = StageGraph([
+            _stage("flaky", self._boom, outputs=(A_INT,),
+                   fallback=Fallback(_produce(number=0))),
+            _stage("downstream", _produce(text="computed"),
+                   inputs=(A_INT,), outputs=(A_STR,), phase="down",
+                   fallback=Fallback(_produce(text="skipped")),
+                   skip_if_degraded=("flaky",)),
+        ])
+        ctx = _ctx()
+        execution = graph.execute(ctx, {})
+        assert execution.value("text") == "skipped"
+        # Only the upstream degradation counts; the skip is silent.
+        assert execution.degraded_reasons() == ("flaky",)
+        assert ctx.counters.count("faults.degraded") == 1
+        assert execution.artifacts.records["downstream"].status == "skipped"
+        assert "phase:down" not in [s.name for s in ctx.tracer.spans]
+
+    def test_contiguous_stages_share_one_phase_span(self):
+        a, b = Artifact("a"), Artifact("b")
+        graph = StageGraph([
+            _stage("one", _produce(a=1), outputs=(a,), phase="joint"),
+            _stage("two", _produce(b=1), inputs=(a,), outputs=(b,),
+                   phase="joint"),
+        ])
+        ctx = _ctx()
+        graph.execute(ctx, {})
+        assert [s.name for s in ctx.tracer.spans] == ["phase:joint"]
+
+    def test_stop_after_runs_a_prefix(self):
+        a, b = Artifact("a"), Artifact("b")
+        graph = StageGraph([
+            _stage("one", _produce(a=1), outputs=(a,)),
+            _stage("two", _produce(b=1), inputs=(a,), outputs=(b,)),
+        ])
+        execution = graph.execute(_ctx(), {}, stop_after="one")
+        assert not execution.complete
+        assert execution.value("a") == 1
+        with pytest.raises(StageGraphError) as err:
+            execution.value("b")
+        assert err.value.kind == "missing-producer"
+
+
+# ----------------------------------------------------------------------
+# ArtifactSet serialization
+
+
+class TestArtifactSet:
+    def _run_partial(self):
+        a, b = Artifact("a"), Artifact("b")
+        graph = StageGraph([
+            _stage("one", _produce(a={"payload": 7}), outputs=(a,)),
+            _stage("two", _produce(b=2), inputs=(a,), outputs=(b,)),
+        ])
+        return graph, graph.execute(_ctx(), {}, stop_after="one")
+
+    def test_save_load_resume_round_trip(self, tmp_path):
+        graph, execution = self._run_partial()
+        execution.artifacts.meta["program"] = "digest"
+        execution.save(tmp_path / "arts")
+
+        loaded = ArtifactSet.load(tmp_path / "arts")
+        assert loaded.values["a"] == {"payload": 7}
+        assert loaded.meta["program"] == "digest"
+        assert loaded.records["one"].status == "computed"
+
+        resumed = graph.execute(_ctx(), {}, resume=loaded)
+        assert resumed.complete
+        assert resumed.value("b") == 2
+        # The replayed stage kept its original record.
+        assert resumed.artifacts.records["one"].status == "computed"
+
+    def test_corrupt_artifact_fails_loudly(self, tmp_path):
+        _, execution = self._run_partial()
+        root = execution.save(tmp_path / "arts")
+        payload = root / "a.artifact"
+        payload.write_bytes(payload.read_bytes()[:-3] + b"zzz")
+        with pytest.raises(StageGraphError) as err:
+            ArtifactSet.load(root)
+        assert err.value.kind == "resume-mismatch"
+        assert err.value.artifact == "a"
+
+    def test_missing_manifest_fails(self, tmp_path):
+        with pytest.raises(StageGraphError) as err:
+            ArtifactSet.load(tmp_path / "nothing-here")
+        assert err.value.kind == "resume-mismatch"
+
+
+# ----------------------------------------------------------------------
+# The Propeller graph
+
+
+def _cheap_config(**overrides) -> PipelineConfig:
+    defaults = dict(pgo_steps=5_000, lbr_branches=10_000, workers=72,
+                    enforce_ram=False)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def stage_program():
+    return generate_workload(PRESETS["531.deepsjeng"], scale=0.3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def full_digest(stage_program):
+    return PropellerPipeline(stage_program, _cheap_config()).run().digest()
+
+
+class TestPipelineGraph:
+    def test_golden_topology(self):
+        """The DAG shape is a frozen public surface (CI gates on it)."""
+        described = pipeline_stage_graph().describe()
+        text = json.dumps(described, indent=2, sort_keys=True) + "\n"
+        path = GOLDEN_DIR / "stage_graph.json"
+        if REGEN:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(text)
+        assert path.exists(), (
+            f"missing golden file {path}; run with REPRO_REGEN_GOLDEN=1 "
+            "to create it")
+        assert text == path.read_text()
+
+    def test_incremental_graph_prepends_plan_dirty(self):
+        base = pipeline_stage_graph()
+        incr = pipeline_stage_graph(incremental=True)
+        assert incr.order == ("plan-dirty",) + base.order
+        assert [a.name for a in incr.seeds] == ["incr_state"]
+
+    def test_canonical_order_is_the_run_order(self):
+        assert pipeline_stage_graph().order == (
+            "pgo-profile", "inline", "baseline-build", "stale-match",
+            "metadata-build", "lbr-profile", "wpa", "relink")
+
+    def test_stop_after_resume_bit_identical(self, stage_program,
+                                             full_digest, tmp_path):
+        config = _cheap_config()
+        first = PropellerPipeline(stage_program, config)
+        partial = first.run_stages(stop_after="wpa")
+        assert not partial.complete
+        partial.save(tmp_path / "arts")
+
+        second = PropellerPipeline(stage_program, config)
+        resumed = second.run_stages(resume=ArtifactSet.load(tmp_path / "arts"))
+        result = second.result_from(resumed)
+        assert result.digest() == full_digest
+        # Accounting survives the round trip too.
+        assert result.phase_seconds["wpa_convert"] >= 0.0
+        assert list(result.phase_seconds) == [
+            "pgo_profile_run", "pgo_instrumented_build", "opt_build",
+            "metadata_build", "lbr_profile_run", "wpa_convert",
+            "prop_backends", "prop_link"]
+
+    def test_resume_rejects_different_program(self, stage_program, tmp_path):
+        config = _cheap_config()
+        partial = PropellerPipeline(stage_program, config).run_stages(
+            stop_after="pgo-profile")
+        partial.save(tmp_path / "arts")
+        other = generate_workload(PRESETS["505.mcf"], scale=1.0, seed=11)
+        with pytest.raises(StageGraphError) as err:
+            PropellerPipeline(other, config).run_stages(
+                resume=ArtifactSet.load(tmp_path / "arts"))
+        assert err.value.kind == "resume-mismatch"
+
+    def test_partial_result_assembly_refuses(self, stage_program):
+        pipe = PropellerPipeline(stage_program, _cheap_config())
+        partial = pipe.run_stages(stop_after="baseline-build")
+        with pytest.raises(StageGraphError) as err:
+            pipe.result_from(partial)
+        assert err.value.kind == "missing-producer"
+
+    def test_instrumented_build_factor_pinned(self, stage_program):
+        """Satellite: the modelled instrumented-build ratio, as a named
+        constant, pinned where the magic number used to live."""
+        assert INSTRUMENTED_BUILD_FACTOR == 0.9
+        result = PropellerPipeline(stage_program, _cheap_config()).run()
+        assert result.phase_seconds["pgo_instrumented_build"] == (
+            pytest.approx(result.phase_seconds["opt_build"]
+                          * INSTRUMENTED_BUILD_FACTOR))
+
+
+@st.composite
+def _topo_orders(draw):
+    """A uniformly-random *valid* topological order of the pipeline DAG."""
+    graph = pipeline_stage_graph()
+    remaining = {
+        stage.name: {dep.name for dep in graph._dependencies(stage)}
+        for stage in graph.stages
+    }
+    order = []
+    while remaining:
+        ready = sorted(n for n, deps in remaining.items() if not deps)
+        pick = draw(st.sampled_from(ready))
+        order.append(pick)
+        del remaining[pick]
+        for deps in remaining.values():
+            deps.discard(pick)
+    return order
+
+
+class TestOrderInvariance:
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(order=_topo_orders())
+    def test_any_valid_topo_order_same_digest(self, stage_program,
+                                              full_digest, order):
+        """Artifacts are pure functions of their inputs: executing the
+        stages in any dependency-respecting order builds bit-identical
+        binaries and directives."""
+        pipe = PropellerPipeline(stage_program, _cheap_config())
+        result = pipe.result_from(pipe.run_stages(order=order))
+        assert result.digest() == full_digest
